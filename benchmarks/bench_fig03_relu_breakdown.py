@@ -1,0 +1,52 @@
+"""Figure 3: breakdown of stashed feature maps by layer-pair class.
+
+Paper observation reproduced: ReLU outputs dominate stashed memory —
+VGG16 has ~40% ReLU-Pool and ~49% ReLU-Conv (89% total ReLU).
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    stash_bytes_by_class,
+)
+
+from conftest import print_header
+
+
+def breakdown_rows(suite):
+    rows = []
+    for name, graph in suite.items():
+        bb = stash_bytes_by_class(graph)
+        total = sum(bb.values())
+        rows.append(
+            [
+                name,
+                bb[STASH_RELU_POOL] / total,
+                bb[STASH_RELU_CONV] / total,
+                bb[STASH_OTHER] / total,
+                total / 1024**3,
+            ]
+        )
+    return rows
+
+
+def test_fig03_stash_class_breakdown(benchmark, suite):
+    rows = benchmark.pedantic(breakdown_rows, args=(suite,), rounds=1,
+                              iterations=1)
+    print_header("Figure 3 — stashed feature maps by class "
+                 "(fraction of stashed bytes)")
+    print(format_table(
+        ["network", "relu_pool", "relu_conv", "other", "stashed GiB"], rows
+    ))
+    by_name = {r[0]: r for r in rows}
+    # VGG16: paper reports 40% / 49% / remainder.
+    vgg = by_name["vgg16"]
+    assert 0.35 < vgg[1] < 0.45
+    assert 0.45 < vgg[2] < 0.65
+    # ReLU outputs are the majority of stashed bytes for the classic
+    # conv-pool stacks.
+    for name in ("alexnet", "nin", "overfeat", "vgg16"):
+        relu_share = by_name[name][1] + by_name[name][2]
+        assert relu_share > 0.6, name

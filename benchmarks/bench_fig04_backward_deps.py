@@ -1,0 +1,63 @@
+"""Figure 4: backward-pass data dependences per layer type.
+
+Regenerates the paper's dependence table — which of the stashed input X /
+output Y each layer's backward pass reads — directly from the layer
+metadata that drives the whole Schedule Builder.
+"""
+
+from repro.analysis import format_table
+from repro.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+)
+
+from conftest import print_header
+
+EXPECTED = {
+    # kind: (needs X, needs Y, note)
+    "relu": (False, True, "dX = dY * (Y > 0) — 1 bit of Y suffices"),
+    "conv": (True, False, "dW needs X; dX needs only W and dY"),
+    "dense": (True, False, "dW needs X"),
+    "maxpool": (True, True, "baseline re-derives argmax; Gist stores Y->X map"),
+    "avgpool": (False, False, "dX is a uniform scatter of dY"),
+    "batchnorm": (True, False, "needs X and saved batch statistics"),
+    "lrn": (True, True, "needs X, Y and the saved scale"),
+}
+
+
+def build_rows():
+    layers = [
+        ReLU(),
+        Conv2D(4, 3),
+        Dense(4),
+        MaxPool2D(2),
+        AvgPool2D(2),
+        BatchNorm2D(),
+        LocalResponseNorm(),
+    ]
+    rows = []
+    for layer in layers:
+        rows.append(
+            [
+                layer.kind,
+                "yes" if layer.backward_needs_input else "no",
+                "yes" if layer.backward_needs_output else "no",
+                EXPECTED[layer.kind][2],
+            ]
+        )
+    return rows
+
+
+def test_fig04_backward_dependences(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_header("Figure 4 — backward-pass dependences by layer type")
+    print(format_table(["layer", "needs X", "needs Y", "why"], rows))
+    for kind, needs_x, needs_y, _ in rows:
+        exp_x, exp_y, _ = EXPECTED[kind]
+        assert (needs_x == "yes") == exp_x, kind
+        assert (needs_y == "yes") == exp_y, kind

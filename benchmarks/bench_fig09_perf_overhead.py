@@ -1,0 +1,49 @@
+"""Figure 9: Gist's performance overhead (analytical cost model).
+
+Paper results reproduced in shape: ~3% average for lossless, ~4% for
+lossless+lossy, 7% worst case.
+"""
+
+import statistics
+
+from repro.analysis import format_table
+from repro.core import GistConfig
+from repro.perf import measure_overhead
+
+from conftest import print_header
+
+
+def overhead_rows(suite):
+    rows = []
+    for name, graph in suite.items():
+        lossless = measure_overhead(graph, GistConfig.lossless())
+        full = measure_overhead(graph, GistConfig.for_network(name))
+        rows.append(
+            [
+                name,
+                lossless.baseline_s * 1000,
+                lossless.overhead_frac * 100,
+                full.overhead_frac * 100,
+            ]
+        )
+    return rows
+
+
+def test_fig09_performance_overhead(benchmark, suite):
+    rows = benchmark.pedantic(overhead_rows, args=(suite,), rounds=1,
+                              iterations=1)
+    print_header("Figure 9 — Gist performance overhead "
+                 "(% slowdown vs baseline step time)")
+    print(format_table(
+        ["network", "baseline ms/step", "lossless %", "lossless+lossy %"],
+        rows,
+    ))
+    lossless = [r[2] for r in rows]
+    full = [r[3] for r in rows]
+    print(f"\naverage lossless = {statistics.mean(lossless):.1f}% "
+          f"(paper: 3%)")
+    print(f"average full     = {statistics.mean(full):.1f}% (paper: 4%)")
+    assert statistics.mean(lossless) < 6.0
+    assert statistics.mean(full) < 7.0
+    for row in rows:
+        assert row[2] < 12.0 and row[3] < 13.0, row[0]

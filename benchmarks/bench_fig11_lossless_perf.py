@@ -1,0 +1,50 @@
+"""Figure 11: performance effect of the lossless encodings alone.
+
+Binarize slightly *improves* ReLU/pool backward time (smaller reads on a
+bandwidth-bound kernel); SSDC pays dense<->CSR conversion passes.  The
+combined lossless overhead averages ~3% in the paper.
+"""
+
+import statistics
+
+from repro.analysis import format_table
+from repro.core import GistConfig
+from repro.perf import CostModel, encoding_time_delta, measure_overhead
+from repro.core.schedule_builder import build_gist_plan
+
+from conftest import print_header
+
+
+def lossless_perf_rows(suite):
+    cost = CostModel()
+    rows = []
+    for name, graph in suite.items():
+        base_s = cost.step_time(graph).total_s
+        plan = build_gist_plan(graph, GistConfig.lossless())
+        deltas = encoding_time_delta(plan, cost)
+        total = measure_overhead(graph, GistConfig.lossless())
+        rows.append(
+            [
+                name,
+                deltas["binarize"] / base_s * 100,
+                deltas["ssdc"] / base_s * 100,
+                total.overhead_frac * 100,
+            ]
+        )
+    return rows
+
+
+def test_fig11_lossless_performance(benchmark, suite):
+    rows = benchmark.pedantic(lossless_perf_rows, args=(suite,), rounds=1,
+                              iterations=1)
+    print_header("Figure 11 — lossless encoding performance deltas "
+                 "(% of baseline step)")
+    print(format_table(
+        ["network", "binarize %", "ssdc %", "lossless total %"], rows
+    ))
+    for name, binarize_pct, ssdc_pct, total_pct in rows:
+        # Binarize never slows training down (paper: small improvements).
+        assert binarize_pct <= 0.5, name
+        # SSDC conversion cost is the dominant lossless overhead.
+        assert ssdc_pct >= 0.0, name
+    assert statistics.mean(r[3] for r in rows) < 6.0

@@ -1,0 +1,82 @@
+"""Figure 13: DPR's footprint reduction vs the investigation baseline.
+
+For each network: DPR-FP16 and the smallest accuracy-safe format (FP8 or
+FP10, per Section V-D1).  The stashed region compresses by the format
+ratio (2x / ~3x / 4x) while "immediate" grows slightly (the FP32 copies),
+e.g. the paper's AlexNet numbers: 1.18x with FP16, 1.48x with FP8.
+"""
+
+from repro.analysis import format_table
+from repro.core import GistConfig, PAPER_DPR_FORMATS, build_gist_plan
+from repro.memory import (
+    CLASS_ENCODED,
+    CLASS_STASHED,
+    StaticAllocator,
+    build_memory_plan,
+)
+
+from conftest import print_header
+
+
+def _split(plan):
+    stashed = immediate = 0
+    for t in plan.tensors:
+        cls = plan.classify(t)
+        if cls in (CLASS_STASHED, CLASS_ENCODED):
+            stashed += t.size_bytes
+        else:
+            immediate += t.size_bytes
+    return stashed, immediate
+
+
+def dpr_rows(suite):
+    alloc = StaticAllocator()
+    rows = []
+    for name, graph in suite.items():
+        base_plan = build_memory_plan(graph, investigation=True)
+        base_bytes = alloc.allocate(base_plan.tensors).total_bytes
+        base_stashed, base_imm = _split(base_plan)
+        formats = ["fp16"]
+        smallest = PAPER_DPR_FORMATS.get(name, "fp16")
+        if smallest != "fp16":
+            formats.append(smallest)
+        for fmt in formats:
+            gist = build_gist_plan(graph, GistConfig.dpr_only(fmt),
+                                   investigation=True)
+            stashed, imm = _split(gist.plan)
+            total = alloc.allocate(gist.plan.tensors).total_bytes
+            rows.append(
+                [
+                    name,
+                    fmt,
+                    base_stashed / stashed,
+                    imm / base_imm,
+                    base_bytes / total,
+                ]
+            )
+    return rows
+
+
+def test_fig13_dpr_footprint(benchmark, suite):
+    rows = benchmark.pedantic(dpr_rows, args=(suite,), rounds=1, iterations=1)
+    print_header("Figure 13 — DPR MFR vs investigation baseline")
+    print(format_table(
+        ["network", "format", "stashed compression", "immediate growth",
+         "total MFR"],
+        rows,
+    ))
+    for name, fmt, stash_ratio, imm_growth, mfr in rows:
+        # Stashed-region compression tracks the format width.
+        expected = {"fp16": 2.0, "fp10": 3.0, "fp8": 4.0}[fmt]
+        assert expected * 0.85 < stash_ratio <= expected * 1.01, (name, fmt)
+        # The FP32 copies grow the immediate region, but boundedly.
+        assert 1.0 <= imm_growth < 2.2, (name, fmt)
+        assert mfr > 1.05, (name, fmt)
+    # Smaller formats must give strictly more total MFR per network.
+    by_net = {}
+    for name, fmt, _, _, mfr in rows:
+        by_net.setdefault(name, {})[fmt] = mfr
+    for name, fmts in by_net.items():
+        if len(fmts) == 2:
+            small = [f for f in fmts if f != "fp16"][0]
+            assert fmts[small] > fmts["fp16"], name

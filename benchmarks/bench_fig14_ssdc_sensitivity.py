@@ -1,0 +1,73 @@
+"""Figure 14: SSDC compression ratio per layer over training time.
+
+Substitution (DESIGN.md §2): a scaled VGG on the synthetic task, sampling
+per-layer ReLU sparsity every few minibatches exactly as the paper samples
+every 1000th ImageNet minibatch.  Reproduced shape: compression starts
+near 1x (random init produces ~50% sparsity, near CSR's breakeven), rises
+within the first minibatches, varies across layers, and stays well above
+1x for the rest of training.
+"""
+
+from repro.analysis import format_series, format_table
+from repro.core import GistConfig, STASH_RELU_CONV, classify_all_stashes
+from repro.models import scaled_vgg
+from repro.train import (
+    GistPolicy,
+    SGD,
+    Trainer,
+    feature_map_elements,
+    make_synthetic,
+)
+
+from conftest import print_header
+
+EPOCHS = 5
+SAMPLE_EVERY = 4
+
+
+def run_sensitivity():
+    graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16, width=8)
+    train, test = make_synthetic(num_samples=640, num_classes=8,
+                                 image_size=16, noise=1.2, seed=3)
+    policy = GistPolicy(graph, GistConfig.lossless())
+    trainer = Trainer(graph, policy, SGD(lr=0.05, momentum=0.9), seed=0)
+    result = trainer.train(train, test, epochs=EPOCHS,
+                           sparsity_every=SAMPLE_EVERY)
+    ssdc_layers = [
+        graph.node(nid).name
+        for nid, info in classify_all_stashes(graph).items()
+        if info.stash_class == STASH_RELU_CONV
+        and graph.node(nid).kind == "relu"
+    ]
+    elements = feature_map_elements(graph)
+    series = {name: [] for name in ssdc_layers}
+    steps = []
+    for sample in result.sparsity_samples:
+        steps.append(sample.minibatch_index)
+        ratios = sample.compression_ratios(elements)
+        for name in ssdc_layers:
+            series[name].append(ratios[name])
+    return steps, series
+
+
+def test_fig14_ssdc_sensitivity(benchmark):
+    steps, series = benchmark.pedantic(run_sensitivity, rounds=1,
+                                       iterations=1)
+    print_header("Figure 14 — SSDC compression ratio per layer over "
+                 "training (sampled minibatches)")
+    print(f"sampled minibatch indices: {steps}")
+    for name, values in series.items():
+        print(format_series(f"{name:>10s}", values, precision=2))
+    print(format_table(
+        ["layer", "first sample", "last sample", "max"],
+        [[n, v[0], v[-1], max(v)] for n, v in series.items()],
+    ))
+    for name, values in series.items():
+        # After warm-up, every SSDC layer compresses.
+        late = values[len(values) // 2 :]
+        assert min(late) > 1.0, name
+        # Sparsity (and hence compression) grows from initialisation.
+        assert max(late) > values[0], name
+    # Ratios vary across layers (the figure's per-layer spread).
+    finals = [v[-1] for v in series.values()]
+    assert max(finals) / min(finals) > 1.05

@@ -1,0 +1,62 @@
+"""Extension bench: how MFR scales with minibatch size.
+
+The paper evaluates at minibatch 64.  Since every feature map scales
+linearly with the batch while weights do not, Gist's MFR on the
+CNTK-baseline tensor set (which excludes weights) should be essentially
+batch-invariant — confirming that the headline 1.8x is not an artifact of
+one batch size.  Also reports SSDC sensitivity to the *assumed* sparsity,
+bridging the static model to Figure 14's measured values.
+"""
+
+from repro.analysis import ConstantSparsity, format_table
+from repro.core import Gist, GistConfig
+from repro.models import build_model
+
+from conftest import print_header
+
+BATCHES = [16, 32, 64, 128]
+SPARSITIES = [0.0, 0.25, 0.5, 0.75, 0.9]
+
+
+def batch_scaling_rows():
+    rows = []
+    for batch in BATCHES:
+        graph = build_model("vgg16", batch_size=batch)
+        mfr = Gist(GistConfig.for_network("vgg16")).measure_mfr(graph).mfr
+        rows.append([batch, mfr])
+    return rows
+
+
+def sparsity_sweep_rows():
+    graph = build_model("vgg16", batch_size=32)
+    rows = []
+    for sparsity in SPARSITIES:
+        gist = Gist(GistConfig.lossless(), ConstantSparsity(sparsity))
+        rows.append([sparsity, gist.measure_mfr(graph).mfr])
+    return rows
+
+
+def test_mfr_batch_invariance(benchmark):
+    rows = benchmark.pedantic(batch_scaling_rows, rounds=1, iterations=1)
+    print_header("Extension — VGG16 full-Gist MFR vs minibatch size")
+    print(format_table(["minibatch", "MFR"], rows))
+    mfrs = [r[1] for r in rows]
+    # Batch-invariant to within a few percent.
+    assert max(mfrs) / min(mfrs) < 1.08
+    assert all(m > 1.4 for m in mfrs)
+
+
+def test_mfr_vs_assumed_sparsity(benchmark):
+    rows = benchmark.pedantic(sparsity_sweep_rows, rounds=1, iterations=1)
+    print_header("Extension — VGG16 lossless MFR vs assumed ReLU sparsity")
+    print(format_table(["sparsity", "MFR"], rows))
+    by_s = dict(rows)
+    # The interesting structure: at 0% sparsity the Schedule Builder
+    # *declines* to apply CSR (it would expand), so only Binarize/inplace
+    # contribute; at 25% CSR technically compresses (barely) but its
+    # decode staging buffer makes the net footprint WORSE than not
+    # applying it — the regime the paper's ~20% effectiveness threshold
+    # guards against.  From 50% up, compression wins and grows.
+    assert by_s[0.0] > by_s[0.25]
+    assert by_s[0.5] < by_s[0.75] < by_s[0.9]
+    assert by_s[0.9] > 1.5

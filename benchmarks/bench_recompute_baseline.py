@@ -1,0 +1,58 @@
+"""Recompute (checkpointing) baseline vs Gist — paper Section II-B.
+
+The paper dismisses recomputation as a general alternative because "the
+largest layers are usually the ones that also take the longest to
+recompute".  This bench quantifies that: sqrt(N) segment checkpointing on
+the chain networks reaches MFRs comparable to Gist-lossless, but at
+20-35% step-time overhead versus Gist's low single digits.
+"""
+
+from repro.analysis import format_table
+from repro.core import Gist, GistConfig
+from repro.memory import StaticAllocator, build_memory_plan, build_recompute_plan
+from repro.perf import measure_overhead
+
+from conftest import print_header
+
+CHAIN_NETWORKS = ["alexnet", "overfeat", "vgg16"]
+
+
+def comparison_rows(suite):
+    alloc = StaticAllocator()
+    rows = []
+    for name in CHAIN_NETWORKS:
+        graph = suite[name]
+        base = alloc.allocate(build_memory_plan(graph).tensors).total_bytes
+        recompute = build_recompute_plan(graph)
+        rec_bytes = alloc.allocate(recompute.plan.tensors).total_bytes
+        gist = Gist(GistConfig.for_network(name)).measure_mfr(graph)
+        gist_ov = measure_overhead(graph, GistConfig.for_network(name))
+        rows.append(
+            [
+                name,
+                base / rec_bytes,
+                recompute.overhead_frac(graph) * 100,
+                gist.mfr,
+                gist_ov.overhead_frac * 100,
+            ]
+        )
+    return rows
+
+
+def test_recompute_vs_gist(benchmark, suite):
+    rows = benchmark.pedantic(comparison_rows, args=(suite,), rounds=1,
+                              iterations=1)
+    print_header("Recompute baseline (sqrt(N) checkpointing) vs Gist")
+    print(format_table(
+        ["network", "recompute MFR", "recompute ov %", "gist MFR",
+         "gist ov %"],
+        rows,
+    ))
+    for name, rec_mfr, rec_ov, gist_mfr, gist_ov in rows:
+        # Both reduce memory...
+        assert rec_mfr > 1.2, name
+        assert gist_mfr > 1.2, name
+        # ...but recompute pays an order of magnitude more time.
+        assert rec_ov > 15.0, name
+        assert gist_ov < 10.0, name
+        assert rec_ov > 5 * gist_ov, name

@@ -1,0 +1,65 @@
+"""Table I: which technique targets which data structure.
+
+Regenerates the paper's technique table from the Schedule Builder's actual
+decisions across the whole suite: every ReLU-Pool map gets Binarize, every
+ReLU-Conv map gets SSDC, remaining stashed maps get DPR, and inplace
+computation removes immediately consumed conv outputs.
+"""
+
+from collections import Counter
+
+from repro.analysis import format_table
+from repro.core import (
+    ENC_BINARIZE,
+    ENC_DPR,
+    ENC_SSDC,
+    GistConfig,
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    build_gist_plan,
+)
+from repro.encodings import inplace_eligible_edges
+
+from conftest import print_header
+
+
+def decision_matrix(suite):
+    counts = Counter()
+    inplace_edges = 0
+    for name, graph in suite.items():
+        plan = build_gist_plan(graph, GistConfig.for_network(name))
+        for d in plan.decisions.values():
+            counts[(d.stash_class, d.encoding)] += 1
+        inplace_edges += len(inplace_eligible_edges(graph))
+    return counts, inplace_edges
+
+
+def test_table1_technique_mapping(benchmark, suite):
+    counts, inplace_edges = benchmark.pedantic(
+        decision_matrix, args=(suite,), rounds=1, iterations=1
+    )
+    print_header("Table I — technique <-> target data structure "
+                 "(decision counts across the six-network suite)")
+    rows = [
+        ["ReLU-Pool feature map", "Binarize (lossless)",
+         counts[(STASH_RELU_POOL, ENC_BINARIZE)]],
+        ["ReLU-Conv feature map", "SSDC (lossless)",
+         counts[(STASH_RELU_CONV, ENC_SSDC)]],
+        ["ReLU-Conv below breakeven", "DPR fallback",
+         counts[(STASH_RELU_CONV, ENC_DPR)]],
+        ["Other stashed feature map", "DPR (lossy)",
+         counts[(STASH_OTHER, ENC_DPR)]],
+        ["Immediately consumed", "Inplace computation", inplace_edges],
+    ]
+    print(format_table(["target data structure", "technique", "count"], rows))
+    # Table I's mapping must be exclusive: no cross-class assignments.
+    assert counts[(STASH_RELU_POOL, ENC_SSDC)] == 0
+    assert counts[(STASH_RELU_POOL, ENC_DPR)] == 0
+    assert counts[(STASH_OTHER, ENC_BINARIZE)] == 0
+    assert counts[(STASH_OTHER, ENC_SSDC)] == 0
+    # And every technique fires somewhere in the suite.
+    assert counts[(STASH_RELU_POOL, ENC_BINARIZE)] > 0
+    assert counts[(STASH_RELU_CONV, ENC_SSDC)] > 0
+    assert counts[(STASH_OTHER, ENC_DPR)] > 0
+    assert inplace_edges > 0

@@ -1,0 +1,28 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every ``bench_fig*`` file regenerates one table or figure from the paper's
+evaluation section and prints the same rows/series the figure shows, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import PAPER_SUITE, build_model
+
+#: Minibatch used throughout the paper's memory studies (Section II).
+PAPER_MINIBATCH = 64
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The paper's six networks at minibatch 64, built once."""
+    return {name: build_model(name, batch_size=PAPER_MINIBATCH)
+            for name in PAPER_SUITE}
+
+
+def print_header(title: str) -> None:
+    """Banner separating each figure's output in the bench log."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fit deeper networks / larger minibatches into a fixed memory budget.
+
+The paper's Section V-G use case: on a 12 GB Titan X, Gist's footprint
+reduction buys either a larger minibatch (higher GPU utilisation and
+throughput) or a deeper network at the same minibatch.
+
+Run:  python examples/fit_larger_networks.py
+"""
+
+from repro.analysis import format_table
+from repro.core import GistConfig
+from repro.models import resnet_cifar
+from repro.perf import (
+    TITAN_X_MAXWELL,
+    deepest_trainable,
+    larger_minibatch_speedup,
+)
+
+
+def main() -> None:
+    config = GistConfig.full("fp10")
+
+    print("Largest minibatch fitting a 12 GB Titan X, baseline vs Gist:\n")
+    rows = []
+    for depth in (110, 509, 1202):
+        report = larger_minibatch_speedup(
+            lambda b, d=depth: resnet_cifar(d, batch_size=b),
+            config,
+            name=f"resnet-{depth}",
+        )
+        rows.append(
+            [
+                report.model,
+                report.baseline_batch,
+                report.gist_batch,
+                f"{report.gist_batch / report.baseline_batch:.1f}x",
+                f"{(report.speedup - 1) * 100:.1f}%",
+            ]
+        )
+    print(format_table(
+        ["network", "baseline batch", "gist batch", "batch ratio",
+         "throughput gain"],
+        rows,
+    ))
+
+    print("\nOr go deeper at a fixed minibatch of 256:")
+    factory = lambda depth: resnet_cifar(depth, batch_size=256)
+    base_depth = deepest_trainable(factory, None, device=TITAN_X_MAXWELL,
+                                   start=104, stride=96)
+    gist_depth = deepest_trainable(factory, config, device=TITAN_X_MAXWELL,
+                                   start=104, stride=96)
+    print(f"  baseline deepest trainable ResNet: ~{base_depth} layers")
+    print(f"  with Gist:                         ~{gist_depth} layers "
+          f"({gist_depth / base_depth:.1f}x deeper)")
+
+
+if __name__ == "__main__":
+    main()

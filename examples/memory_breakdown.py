@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Where does training memory actually go?  (Paper Figures 1 and 3.)
+
+Walks the six-network suite at minibatch 64 and prints, per network, the
+data-structure breakdown and the stashed-feature-map classes that make
+Gist's layer-specific encodings possible.
+
+Run:  python examples/memory_breakdown.py
+"""
+
+from repro.analysis import format_breakdown
+from repro.core import (
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    stash_bytes_by_class,
+)
+from repro.memory import GiB, build_memory_plan
+from repro.models import PAPER_SUITE, build_model
+
+
+def main() -> None:
+    for name in PAPER_SUITE:
+        graph = build_model(name, batch_size=64)
+        plan = build_memory_plan(graph, include_weights=True,
+                                 include_workspace=True)
+        by_class = {
+            cls: nbytes // 1024**2
+            for cls, nbytes in plan.bytes_by_class().items()
+            if nbytes
+        }
+        print(format_breakdown(f"{name} (MiB)", by_class))
+
+        stash = stash_bytes_by_class(graph)
+        total = sum(stash.values())
+        print(
+            f"    stashed-map classes: "
+            f"ReLU-Pool {stash[STASH_RELU_POOL] / total:.0%} (Binarize), "
+            f"ReLU-Conv {stash[STASH_RELU_CONV] / total:.0%} (SSDC), "
+            f"Other {stash[STASH_OTHER] / total:.0%} (DPR)\n"
+        )
+
+    vgg = build_model("vgg16", batch_size=64)
+    plan = build_memory_plan(vgg)
+    stashed = sum(t.size_bytes for t in plan.stashed_feature_maps())
+    print(f"VGG16 alone stashes {stashed / GiB:.1f} GiB of feature maps "
+          f"per minibatch — the target of every Gist encoding.")
+
+
+if __name__ == "__main__":
+    main()

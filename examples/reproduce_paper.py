@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline (non-training) results in one shot.
+
+Writes ``results/headline.json`` with per-network data for Figures 1, 3,
+8, 9, 15 and 17 and prints the summary table.  For the training figures
+(12, 14) and everything else, run the full harness:
+
+    pytest benchmarks/ --benchmark-only -s
+
+Run:  python examples/reproduce_paper.py [--batch-size 64]
+"""
+
+import argparse
+import statistics
+from pathlib import Path
+
+from repro.analysis import collect_headline_results, export_json, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--out", default="results/headline.json")
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    path = export_json(out, batch_size=args.batch_size)
+    data = collect_headline_results(batch_size=args.batch_size)
+
+    rows = []
+    for name, r in data.items():
+        rows.append(
+            [
+                name,
+                r["dpr_format"],
+                r["mfr_lossless"],
+                r["mfr_full"],
+                f"{r['gist_overhead_frac'] * 100:+.1f}%",
+                f"{r['vdnn_overhead_frac'] * 100:+.1f}%",
+                r["dynamic_mfr_full"],
+            ]
+        )
+    print(format_table(
+        ["network", "dpr", "lossless MFR", "full MFR", "gist ov",
+         "vdnn ov", "dyn MFR"],
+        rows,
+        title=f"Gist reproduction @ minibatch {args.batch_size}",
+    ))
+    print(f"\naverages: lossless "
+          f"{statistics.mean(r['mfr_lossless'] for r in data.values()):.2f}x "
+          f"(paper 1.4x), full "
+          f"{statistics.mean(r['mfr_full'] for r in data.values()):.2f}x "
+          f"(paper 1.8x)")
+    print(f"raw data written to {path}")
+
+
+if __name__ == "__main__":
+    main()

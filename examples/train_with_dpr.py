@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Train with lossy stashes: delayed vs uniform precision reduction.
+
+Reproduces the paper's central accuracy claim (Figure 12) on a scaled
+network you can train on a laptop in ~1 minute: at the *same* 8-bit
+width, quantising in the forward pass (prior work) halts training, while
+Gist's delayed reduction — error confined to the stashed backward copies
+— matches the FP32 baseline.
+
+Run:  python examples/train_with_dpr.py
+"""
+
+from repro.analysis import format_series
+from repro.core import GistConfig
+from repro.dtypes import FP8
+from repro.models import scaled_vgg
+from repro.train import (
+    GistPolicy,
+    SGD,
+    Trainer,
+    UniformReductionPolicy,
+    make_synthetic,
+)
+
+EPOCHS = 5
+
+
+def run(label, make_policy, train_set, test_set):
+    graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16, width=8)
+    trainer = Trainer(graph, make_policy(graph),
+                      SGD(lr=0.01, momentum=0.9), seed=0)
+    result = trainer.train(train_set, test_set, epochs=EPOCHS, label=label)
+    print(format_series(f"{label:>16s} accuracy", result.test_accuracy))
+    return result
+
+
+def main() -> None:
+    train_set, test_set = make_synthetic(
+        num_samples=640, num_classes=8, image_size=16, noise=1.2, seed=3
+    )
+    print(f"synthetic task: {train_set.num_samples} train / "
+          f"{test_set.num_samples} test images, 8 classes\n")
+
+    base = run("baseline-fp32", lambda g: None, train_set, test_set)
+    uniform = run("uniform-fp8", lambda g: UniformReductionPolicy(FP8),
+                  train_set, test_set)
+    delayed = run(
+        "gist-dpr-fp8",
+        lambda g: GistPolicy(g, GistConfig(dpr_format="fp8")),
+        train_set, test_set,
+    )
+
+    print("\nsame 8-bit budget, opposite outcomes:")
+    print(f"  uniform (forward-pass) FP8: {uniform.final_accuracy:.0%} "
+          f"final accuracy — training collapsed")
+    print(f"  delayed (backward-only) FP8: {delayed.final_accuracy:.0%} "
+          f"vs FP32 baseline {base.final_accuracy:.0%}")
+
+
+if __name__ == "__main__":
+    main()

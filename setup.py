@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e . --no-build-isolation` on
+environments without the `wheel` package (editable install falls back to
+setup.py develop)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of *Gist: Efficient Data Encoding for Deep
+Neural Network Training* (Jain et al., ISCA 2018).
+
+Gist shrinks DNN-training memory by re-encoding stashed feature maps
+between their forward and backward uses: 1-bit **Binarize** for ReLU-Pool
+maps, sparse-storage/dense-compute (**SSDC**) CSR for ReLU-Conv maps, and
+delayed precision reduction (**DPR**, FP16/FP10/FP8) for the rest — then
+lets a CNTK-style memory-sharing allocator convert the shortened FP32
+lifetimes into footprint.
+
+Quick start::
+
+    from repro import Gist, GistConfig, build_model
+
+    graph = build_model("vgg16", batch_size=64)
+    report = Gist(GistConfig.for_network("vgg16")).measure_mfr(graph)
+    print(report)   # vgg16: baseline 5.17 GiB -> gist 3.21 GiB (MFR 1.61x)
+
+Package map (one subpackage per subsystem — see DESIGN.md):
+
+- :mod:`repro.graph` — execution-graph IR, training schedule, liveness;
+- :mod:`repro.layers` — NumPy layer kernels with backward-dependence
+  metadata (the cuDNN substitute);
+- :mod:`repro.models` — the paper's six-network suite + scaled variants;
+- :mod:`repro.memory` — static memory-sharing allocator and dynamic
+  allocation simulator;
+- :mod:`repro.encodings` — bit-exact Binarize / CSR / minifloat codecs;
+- :mod:`repro.core` — the Gist Schedule Builder and facade;
+- :mod:`repro.perf` — analytical Titan X performance model, vDNN/naive
+  swapping baselines, utilisation modelling;
+- :mod:`repro.train` — training runtime with pluggable stash policies;
+- :mod:`repro.analysis` — sparsity models and report rendering.
+"""
+
+from repro.core import Gist, GistConfig, MFRReport, build_gist_plan
+from repro.graph import Graph, GraphBuilder, TrainingSchedule
+from repro.models import PAPER_SUITE, available_models, build_model
+from repro.memory import build_memory_plan, memory_footprint_ratio
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gist",
+    "GistConfig",
+    "Graph",
+    "GraphBuilder",
+    "MFRReport",
+    "PAPER_SUITE",
+    "TrainingSchedule",
+    "__version__",
+    "available_models",
+    "build_gist_plan",
+    "build_memory_plan",
+    "build_model",
+    "memory_footprint_ratio",
+]

@@ -1,0 +1,62 @@
+"""Machine-readable export of the reproduction's headline results.
+
+``collect_headline_results`` gathers the cheap (non-training) figure data
+for the whole suite into plain dictionaries, and ``export_json`` writes
+them to disk — the raw material for external plotting or regression
+tracking of the reproduction itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+def collect_headline_results(
+    batch_size: int = 64,
+    models: Optional[list] = None,
+) -> Dict[str, dict]:
+    """Figure 1/3/8/9/15/17 data for every suite network.
+
+    Returns a JSON-serialisable mapping ``model -> results``.
+    """
+    # Local imports: repro.core imports repro.analysis.sparsity, so this
+    # module must not pull repro.core in at package-import time.
+    from repro.core import Gist, GistConfig, stash_bytes_by_class
+    from repro.memory import build_memory_plan
+    from repro.models import PAPER_SUITE, build_model
+    from repro.perf import measure_overhead, simulate_swapping
+
+    results: Dict[str, dict] = {}
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        full_plan = build_memory_plan(graph, include_weights=True,
+                                      include_workspace=True)
+        lossless = Gist(GistConfig.lossless())
+        network_cfg = GistConfig.for_network(name)
+        full = Gist(network_cfg)
+        swap = simulate_swapping(graph)
+        overhead = measure_overhead(graph, network_cfg)
+        dyn = full.measure_mfr(graph, dynamic=True)
+        results[name] = {
+            "batch_size": batch_size,
+            "dpr_format": network_cfg.dpr_format,
+            "memory_breakdown_bytes": full_plan.bytes_by_class(),
+            "stashed_class_bytes": stash_bytes_by_class(graph),
+            "mfr_lossless": lossless.measure_mfr(graph).mfr,
+            "mfr_full": full.measure_mfr(graph).mfr,
+            "gist_overhead_frac": overhead.overhead_frac,
+            "naive_swap_overhead_frac": swap.naive_overhead,
+            "vdnn_overhead_frac": swap.vdnn_overhead,
+            "dynamic_mfr_full": dyn.baseline_bytes / dyn.gist_bytes,
+        }
+    return results
+
+
+def export_json(path, batch_size: int = 64,
+                models: Optional[list] = None) -> Path:
+    """Write :func:`collect_headline_results` to ``path`` as JSON."""
+    path = Path(path)
+    data = collect_headline_results(batch_size=batch_size, models=models)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return path

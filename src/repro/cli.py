@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``models`` — list available model names.
+* ``summary MODEL`` — ops/params/FLOPs and the graph's layer listing.
+* ``mfr MODEL`` — baseline vs Gist footprint (the paper's headline metric).
+* ``breakdown MODEL`` — Figure 1/3-style memory breakdown.
+* ``overhead MODEL`` — Gist and swapping performance overheads.
+* ``train`` — a one-minute scaled training demo across stash policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.core import Gist, GistConfig, stash_bytes_by_class
+from repro.memory import GiB, MiB, build_memory_plan
+from repro.models import available_models, build_model
+
+
+def _add_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", choices=available_models(),
+                        help="network to analyse")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="minibatch size (default: 64, the paper's)")
+
+
+def _config_from_args(args: argparse.Namespace) -> GistConfig:
+    if args.config == "lossless":
+        return GistConfig.lossless()
+    if args.config == "network":
+        return GistConfig.for_network(args.model)
+    return GistConfig.full(args.config)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, batch_size=args.batch_size)
+    print(graph.summary())
+    print(f"\nforward FLOPs: {graph.total_forward_flops() / 1e9:.1f} G")
+    return 0
+
+
+def cmd_mfr(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, batch_size=args.batch_size)
+    gist = Gist(_config_from_args(args))
+    report = gist.measure_mfr(graph, dynamic=args.dynamic)
+    print(report)
+    plan = gist.apply(graph)
+    if args.timeline:
+        from repro.analysis import memory_timeline
+
+        baseline_plan = build_memory_plan(graph)
+        print(f"\nbaseline: {memory_timeline(baseline_plan.tensors)}")
+        print(f"gist:     {memory_timeline(plan.plan.tensors)}\n")
+    rows = [
+        [d.node_name, d.stash_class, d.encoding,
+         d.fp32_bytes / MiB, d.encoded_bytes / MiB]
+        for d in plan.decisions.values()
+    ]
+    print(format_table(
+        ["feature map", "class", "encoding", "FP32 MiB", "encoded MiB"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, batch_size=args.batch_size)
+    plan = build_memory_plan(graph, include_weights=True,
+                             include_workspace=True)
+    rows = [
+        [cls, nbytes / GiB]
+        for cls, nbytes in plan.bytes_by_class().items()
+        if nbytes
+    ]
+    print(format_table(["data structure", "GiB"], rows,
+                       title=f"{args.model} @ minibatch {args.batch_size}"))
+    stash = stash_bytes_by_class(graph)
+    total = sum(stash.values())
+    print("\nstashed feature maps by class:")
+    for cls, nbytes in stash.items():
+        print(f"  {cls:<10} {nbytes / GiB:6.2f} GiB ({nbytes / total:5.1%})")
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.perf import measure_overhead, simulate_swapping
+
+    graph = build_model(args.model, batch_size=args.batch_size)
+    gist = measure_overhead(graph, _config_from_args(args))
+    swap = simulate_swapping(graph)
+    print(f"baseline step:  {gist.baseline_s * 1000:8.1f} ms")
+    print(f"gist overhead:  {gist.overhead_frac:+8.1%}")
+    print(f"vdnn overhead:  {swap.vdnn_overhead:+8.1%}")
+    print(f"naive swapping: {swap.naive_overhead:+8.1%}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.models import scaled_vgg
+    from repro.train import (
+        GistPolicy,
+        SGD,
+        Trainer,
+        UniformReductionPolicy,
+        make_synthetic,
+    )
+    from repro.dtypes import DPR_FORMATS
+
+    train_set, test_set = make_synthetic(
+        num_samples=640, num_classes=8, image_size=16, noise=1.2, seed=3
+    )
+    graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16, width=8)
+    if args.policy == "baseline":
+        policy = None
+    elif args.policy.startswith("uniform-"):
+        policy = UniformReductionPolicy(DPR_FORMATS[args.policy[8:]])
+    else:
+        policy = GistPolicy(graph, GistConfig(dpr_format=args.policy[4:]))
+    trainer = Trainer(graph, policy, SGD(lr=0.01, momentum=0.9), seed=0)
+    result = trainer.train(train_set, test_set, epochs=args.epochs,
+                           label=args.policy)
+    for epoch, (loss, acc) in enumerate(
+        zip(result.epoch_losses, result.test_accuracy), start=1
+    ):
+        print(f"epoch {epoch}: loss={loss:.3f} accuracy={acc:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gist (ISCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list model names").set_defaults(
+        func=cmd_models
+    )
+
+    p = sub.add_parser("summary", help="graph summary")
+    _add_model_argument(p)
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("mfr", help="memory footprint ratio")
+    _add_model_argument(p)
+    p.add_argument("--config", default="network",
+                   choices=["network", "lossless", "fp16", "fp10", "fp8"],
+                   help="gist configuration (default: paper per-network)")
+    p.add_argument("--dynamic", action="store_true",
+                   help="use the dynamic-allocation simulator")
+    p.add_argument("--timeline", action="store_true",
+                   help="show live-memory sparklines (baseline vs gist)")
+    p.set_defaults(func=cmd_mfr)
+
+    p = sub.add_parser("breakdown", help="memory breakdown (Figures 1/3)")
+    _add_model_argument(p)
+    p.set_defaults(func=cmd_breakdown)
+
+    p = sub.add_parser("overhead", help="performance overheads (Figures 9/15)")
+    _add_model_argument(p)
+    p.add_argument("--config", default="network",
+                   choices=["network", "lossless", "fp16", "fp10", "fp8"])
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("train", help="scaled training demo (Figure 12)")
+    p.add_argument("--policy", default="dpr-fp8",
+                   choices=["baseline", "uniform-fp16", "uniform-fp10",
+                            "uniform-fp8", "dpr-fp16", "dpr-fp10", "dpr-fp8"])
+    p.add_argument("--epochs", type=int, default=4)
+    p.set_defaults(func=cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro models | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

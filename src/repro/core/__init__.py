@@ -1,0 +1,45 @@
+"""Gist core: policy, stash classification, Schedule Builder, facade."""
+
+from repro.core.analysis import (
+    STASH_CLASSES,
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    StashInfo,
+    classify_all_stashes,
+    classify_stash,
+    stash_bytes_by_class,
+)
+from repro.core.gist import Gist, MFRReport, class_mfr_breakdown, footprint_bytes
+from repro.core.policy import GistConfig, PAPER_DPR_FORMATS
+from repro.core.schedule_builder import (
+    ENC_BINARIZE,
+    ENC_DPR,
+    ENC_SSDC,
+    EncodingDecision,
+    GistPlan,
+    build_gist_plan,
+)
+
+__all__ = [
+    "ENC_BINARIZE",
+    "ENC_DPR",
+    "ENC_SSDC",
+    "EncodingDecision",
+    "Gist",
+    "GistConfig",
+    "GistPlan",
+    "MFRReport",
+    "PAPER_DPR_FORMATS",
+    "STASH_CLASSES",
+    "STASH_OTHER",
+    "STASH_RELU_CONV",
+    "STASH_RELU_POOL",
+    "StashInfo",
+    "build_gist_plan",
+    "class_mfr_breakdown",
+    "classify_all_stashes",
+    "classify_stash",
+    "footprint_bytes",
+    "stash_bytes_by_class",
+]

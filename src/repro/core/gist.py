@@ -1,0 +1,144 @@
+"""Gist facade: one-call memory-footprint evaluation.
+
+Ties the Schedule Builder to the allocator and the MFR metric so examples
+and benches can express each paper experiment in a few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.sparsity import DEFAULT_SPARSITY_MODEL, SparsityModel
+from repro.core.policy import GistConfig
+from repro.core.schedule_builder import GistPlan, build_gist_plan
+from repro.graph.graph import Graph
+from repro.graph.schedule import TrainingSchedule
+from repro.memory.allocator import POLICY_GREEDY_SIZE, StaticAllocator
+from repro.memory.dynamic import simulate_dynamic
+from repro.memory.footprint import memory_footprint_ratio
+from repro.memory.planner import build_memory_plan
+
+
+@dataclass(frozen=True)
+class MFRReport:
+    """Baseline-vs-Gist footprint comparison for one network."""
+
+    model: str
+    baseline_bytes: int
+    gist_bytes: int
+
+    @property
+    def mfr(self) -> float:
+        """Memory Footprint Ratio — paper Section V-A."""
+        return memory_footprint_ratio(self.baseline_bytes, self.gist_bytes)
+
+    def __str__(self) -> str:
+        gib = 1024.0**3
+        return (
+            f"{self.model}: baseline {self.baseline_bytes / gib:.2f} GiB -> "
+            f"gist {self.gist_bytes / gib:.2f} GiB (MFR {self.mfr:.2f}x)"
+        )
+
+
+class Gist:
+    """The Gist system: configure once, apply to any training graph.
+
+    Args:
+        config: Technique switches; defaults to everything on with FP16
+            DPR (the always-safe lossy width).
+        sparsity_model: Per-layer sparsity source for SSDC sizing.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GistConfig] = None,
+        sparsity_model: Optional[SparsityModel] = None,
+    ):
+        self.config = config or GistConfig()
+        self.sparsity_model = sparsity_model or DEFAULT_SPARSITY_MODEL
+
+    def apply(
+        self,
+        graph: Graph,
+        schedule: Optional[TrainingSchedule] = None,
+        investigation: bool = False,
+    ) -> GistPlan:
+        """Run the Schedule Builder on ``graph``."""
+        return build_gist_plan(
+            graph,
+            self.config,
+            self.sparsity_model,
+            schedule=schedule,
+            investigation=investigation,
+        )
+
+    # ------------------------------------------------------------------
+    def measure_mfr(
+        self,
+        graph: Graph,
+        investigation: bool = False,
+        dynamic: bool = False,
+        allocator_policy: str = POLICY_GREEDY_SIZE,
+    ) -> MFRReport:
+        """Footprint of baseline vs Gist under one allocation discipline.
+
+        Args:
+            graph: Training execution graph.
+            investigation: Use the investigation baseline (stashed maps
+                unshared) on both sides.
+            dynamic: Use the dynamic-allocation simulator instead of the
+                static allocator (Figure 17).
+            allocator_policy: Static allocator policy (ablations).
+        """
+        schedule = TrainingSchedule(graph)
+        baseline = build_memory_plan(graph, schedule,
+                                     investigation=investigation)
+        gist_plan = self.apply(graph, schedule, investigation=investigation)
+        if dynamic:
+            base_bytes = simulate_dynamic(baseline.tensors,
+                                          schedule.num_steps).peak_bytes
+            gist_bytes = simulate_dynamic(gist_plan.plan.tensors,
+                                          schedule.num_steps).peak_bytes
+        else:
+            allocator = StaticAllocator(allocator_policy)
+            base_bytes = allocator.allocate(baseline.tensors).total_bytes
+            gist_bytes = allocator.allocate(gist_plan.plan.tensors).total_bytes
+        return MFRReport(graph.name, base_bytes, gist_bytes)
+
+
+def footprint_bytes(
+    graph: Graph,
+    config: Optional[GistConfig] = None,
+    sparsity_model: Optional[SparsityModel] = None,
+    investigation: bool = False,
+    dynamic: bool = False,
+) -> int:
+    """Footprint of ``graph`` under ``config`` (None/disabled = baseline)."""
+    schedule = TrainingSchedule(graph)
+    if config is None or not (config.any_encoding or config.inplace):
+        plan = build_memory_plan(graph, schedule, investigation=investigation)
+        tensors = plan.tensors
+    else:
+        gist_plan = build_gist_plan(
+            graph, config, sparsity_model, schedule=schedule,
+            investigation=investigation,
+        )
+        tensors = gist_plan.plan.tensors
+    if dynamic:
+        return simulate_dynamic(tensors, schedule.num_steps).peak_bytes
+    return StaticAllocator().allocate(tensors).total_bytes
+
+
+def class_mfr_breakdown(gist_plan: GistPlan) -> Dict[str, float]:
+    """Per-stash-class raw compression achieved by the decisions."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for decision in gist_plan.decisions.values():
+        entry = totals.setdefault(decision.stash_class,
+                                  {"fp32": 0, "encoded": 0})
+        entry["fp32"] += decision.fp32_bytes
+        entry["encoded"] += decision.encoded_bytes
+    return {
+        cls: (v["fp32"] / v["encoded"]) if v["encoded"] else float("inf")
+        for cls, v in totals.items()
+    }

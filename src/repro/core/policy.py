@@ -1,0 +1,118 @@
+"""Gist configuration: which encodings to apply and how.
+
+Mirrors Table I of the paper.  Presets cover the paper's experiment arms:
+
+* :meth:`GistConfig.lossless` — Binarize + SSDC + inplace (Figure 8's
+  "Lossless" bar, Figure 10's isolation studies).
+* :meth:`GistConfig.full` — lossless plus DPR (Figure 8's "Lossless +
+  Lossy" bar; the DPR format is per-network, chosen as the smallest that
+  trains without accuracy loss — Section V-D1).
+* :meth:`GistConfig.dpr_only` — DPR in isolation (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dtypes import DPR_FORMATS
+
+#: Smallest DPR format per network with no accuracy loss (paper §V-D1):
+#: AlexNet and Overfeat train at FP8; Inception needs FP10; VGG16 needs
+#: FP16.  Networks the paper does not call out keep the safe FP16 default.
+PAPER_DPR_FORMATS = {
+    "alexnet": "fp8",
+    "overfeat": "fp8",
+    "nin": "fp10",
+    "inception": "fp10",
+    "vgg16": "fp16",
+    "resnet50": "fp10",
+}
+
+
+@dataclass(frozen=True)
+class GistConfig:
+    """Switches for each Gist technique.
+
+    Attributes:
+        binarize: 1-bit ReLU-Pool encoding (+ pool argmax-map rewrite).
+        ssdc: CSR encoding for ReLU-Conv / sparse Pool-Conv maps.
+        dpr: Delayed precision reduction on remaining stashed maps.
+        inplace: Inplace computation for read-once/write-once layers.
+        dpr_format: ``"fp16"`` / ``"fp10"`` / ``"fp8"``.
+        dpr_over_ssdc: Also compress the CSR values array with DPR
+            (never the meta arrays — paper Section IV-A).
+        ssdc_cols: CSR row width; 256 enables the narrow-value
+            optimisation, larger values model stock cuSPARSE (ablation).
+        rounding: Minifloat rounding, ``"nearest"`` or ``"truncate"``.
+        optimized_software: Drop the decoded-FP32 staging buffer, as if
+            cuDNN consumed encoded data directly (Figure 17's rightmost
+            bars).
+    """
+
+    binarize: bool = True
+    ssdc: bool = True
+    dpr: bool = True
+    inplace: bool = True
+    dpr_format: str = "fp16"
+    dpr_over_ssdc: bool = True
+    ssdc_cols: int = 256
+    rounding: str = "nearest"
+    optimized_software: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dpr_format not in DPR_FORMATS:
+            raise ValueError(
+                f"dpr_format must be one of {sorted(DPR_FORMATS)}, "
+                f"got {self.dpr_format!r}"
+            )
+        if self.ssdc_cols <= 0:
+            raise ValueError(f"ssdc_cols must be positive, got {self.ssdc_cols}")
+        if self.rounding not in ("nearest", "truncate"):
+            raise ValueError(f"unknown rounding mode {self.rounding!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def lossless(cls, **overrides) -> "GistConfig":
+        """Binarize + SSDC + inplace, no DPR."""
+        return cls(dpr=False, **overrides)
+
+    @classmethod
+    def full(cls, dpr_format: str = "fp16", **overrides) -> "GistConfig":
+        """All techniques; ``dpr_format`` selects the lossy width."""
+        return cls(dpr_format=dpr_format, **overrides)
+
+    @classmethod
+    def for_network(cls, model_name: str, **overrides) -> "GistConfig":
+        """All techniques with the paper's per-network DPR format."""
+        fmt = PAPER_DPR_FORMATS.get(model_name, "fp16")
+        return cls(dpr_format=fmt, **overrides)
+
+    @classmethod
+    def binarize_only(cls) -> "GistConfig":
+        """Binarize in isolation (Figure 10)."""
+        return cls(ssdc=False, dpr=False, inplace=False)
+
+    @classmethod
+    def ssdc_only(cls) -> "GistConfig":
+        """SSDC in isolation (Figure 10)."""
+        return cls(binarize=False, dpr=False, inplace=False)
+
+    @classmethod
+    def dpr_only(cls, dpr_format: str = "fp16") -> "GistConfig":
+        """DPR on every stashed map, no lossless encodings (Figure 13)."""
+        return cls(binarize=False, ssdc=False, inplace=False,
+                   dpr_format=dpr_format)
+
+    @classmethod
+    def disabled(cls) -> "GistConfig":
+        """No techniques at all — identical to the baseline plan."""
+        return cls(binarize=False, ssdc=False, dpr=False, inplace=False)
+
+    def with_(self, **overrides) -> "GistConfig":
+        """Functional update."""
+        return replace(self, **overrides)
+
+    @property
+    def any_encoding(self) -> bool:
+        """Whether any stash-rewriting technique is enabled."""
+        return self.binarize or self.ssdc or self.dpr

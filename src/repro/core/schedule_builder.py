@@ -1,0 +1,343 @@
+"""Gist's Schedule Builder (paper Section IV-B).
+
+Given a training graph and a :class:`~repro.core.policy.GistConfig`, this
+pass:
+
+1. classifies every stashed feature map (ReLU-Pool / ReLU-Conv / Other);
+2. selects the encoding Table I assigns to each class;
+3. rewrites the liveness table — the FP32 feature map now dies at its last
+   *forward* use, a compact encoded tensor spans the forward-backward gap,
+   and (for SSDC/DPR) a decoded FP32 staging buffer lives only across the
+   backward uses;
+4. rewrites every max-pool to stash a 4-bit Y-to-X argmax map instead of
+   its input and output maps (part of the Binarize technique);
+5. merges inplace-eligible feature-map pairs.
+
+The rewritten plan feeds the same CNTK-style allocator as the baseline —
+which is the paper's central mechanism: encodings shorten FP32 lifetimes,
+the allocator turns shortened lifetimes into shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.sparsity import DEFAULT_SPARSITY_MODEL, SparsityModel
+from repro.core.analysis import (
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    StashInfo,
+    classify_all_stashes,
+)
+from repro.core.policy import GistConfig
+from repro.dtypes import BIT1, DPR_FORMATS, UINT8
+from repro.encodings.inplace import inplace_eligible_edges
+from repro.encodings.ssdc import csr_bytes
+from repro.graph.graph import Graph
+from repro.graph.liveness import (
+    LiveTensor,
+    ROLE_DECODED,
+    ROLE_ENCODED,
+    ROLE_FEATURE_MAP,
+)
+from repro.graph.node import OpNode
+from repro.graph.schedule import TrainingSchedule
+from repro.memory.planner import (
+    CLASS_ENCODED,
+    CLASS_STASHED,
+    MemoryPlan,
+    build_memory_plan,
+)
+from repro.tensor.categories import TensorCategory
+from repro.tensor.spec import TensorSpec
+
+ENC_BINARIZE = "binarize"
+ENC_SSDC = "ssdc"
+ENC_DPR = "dpr"
+
+
+@dataclass(frozen=True)
+class EncodingDecision:
+    """What the Schedule Builder decided for one stashed feature map."""
+
+    node_id: int
+    node_name: str
+    stash_class: str
+    encoding: Optional[str]
+    fp32_bytes: int
+    encoded_bytes: int
+    decoded_bytes: int
+    sparsity: Optional[float] = None
+
+
+@dataclass
+class GistPlan:
+    """A rewritten memory plan plus the decisions that produced it."""
+
+    graph: Graph
+    schedule: TrainingSchedule
+    plan: MemoryPlan
+    config: GistConfig
+    decisions: Dict[int, EncodingDecision] = field(default_factory=dict)
+    rewritten_pools: Tuple[int, ...] = ()
+
+    def raw_region_bytes(self) -> Dict[str, int]:
+        """Raw bytes per Figure 10 region after the rewrite.
+
+        Regions: ``ssdc`` (ReLU/Pool-Conv stashes), ``binarize``
+        (ReLU-Pool stashes + argmax maps), ``other_stashed`` and
+        ``immediate`` (everything short-lived, incl. decoded buffers,
+        gradient maps and converted FP32 maps).
+        """
+        # Regions follow the *structural* classification, so the baseline
+        # (no decisions) and every encoding arm bucket identically.
+        class_of_node = {
+            nid: info.stash_class
+            for nid, info in classify_all_stashes(self.graph,
+                                                  self.schedule).items()
+        }
+        regions = {"ssdc": 0, "binarize": 0, "other_stashed": 0, "immediate": 0}
+        pool_ids = set(self.rewritten_pools)
+        for t in self.plan.tensors:
+            cls = self.plan.classify(t)
+            if t.role == ROLE_ENCODED:
+                if t.node_id in pool_ids and t.spec.name.endswith(".argmax"):
+                    regions["binarize"] += t.size_bytes
+                else:
+                    regions[_region_of(class_of_node.get(t.node_id))] += t.size_bytes
+            elif cls == CLASS_STASHED:
+                regions[_region_of(class_of_node.get(t.node_id))] += t.size_bytes
+            else:
+                regions["immediate"] += t.size_bytes
+        return regions
+
+
+def _region_of(stash_class: Optional[str]) -> str:
+    if stash_class == STASH_RELU_POOL:
+        return "binarize"
+    if stash_class == STASH_RELU_CONV:
+        return "ssdc"
+    return "other_stashed"
+
+
+def _encoding_for(stash_class: str, config: GistConfig) -> Optional[str]:
+    """Table I: class → technique, honouring disabled switches."""
+    if stash_class == STASH_RELU_POOL and config.binarize:
+        return ENC_BINARIZE
+    if stash_class == STASH_RELU_CONV and config.ssdc:
+        return ENC_SSDC
+    if config.dpr:
+        return ENC_DPR
+    return None
+
+
+def _effective_needs(node: OpNode, pools_rewritten: bool) -> Tuple[bool, bool]:
+    """(needs_input, needs_output) after the max-pool argmax rewrite."""
+    needs_in = node.layer.backward_needs_input
+    needs_out = node.layer.backward_needs_output
+    if pools_rewritten and getattr(node.layer, "supports_argmax_map", False):
+        return False, False
+    return needs_in, needs_out
+
+
+def _feature_map_uses(
+    graph: Graph,
+    schedule: TrainingSchedule,
+    node_id: int,
+    pools_rewritten: bool,
+) -> Tuple[int, Optional[int], Optional[int]]:
+    """(last forward use, first backward use, last backward use)."""
+    node = graph.node(node_id)
+    last_fwd = schedule.forward_time(node_id)
+    for consumer in graph.consumers(node_id):
+        last_fwd = max(last_fwd, schedule.forward_time(consumer.node_id))
+    bwd: List[int] = []
+    _, self_needs_out = _effective_needs(node, pools_rewritten)
+    if self_needs_out and schedule.has_backward(node_id):
+        bwd.append(schedule.backward_time(node_id))
+    for consumer in graph.consumers(node_id):
+        needs_in, _ = _effective_needs(consumer, pools_rewritten)
+        if needs_in and schedule.has_backward(consumer.node_id):
+            bwd.append(schedule.backward_time(consumer.node_id))
+    if node_id == graph.output_id and schedule.has_backward(node_id):
+        # The loss output seeds the backward pass.
+        bwd.append(schedule.backward_time(node_id))
+    if not bwd:
+        return last_fwd, None, None
+    return last_fwd, min(bwd), max(bwd)
+
+
+def build_gist_plan(
+    graph: Graph,
+    config: Optional[GistConfig] = None,
+    sparsity_model: Optional[SparsityModel] = None,
+    schedule: Optional[TrainingSchedule] = None,
+    investigation: bool = False,
+    include_weights: bool = False,
+    include_workspace: bool = False,
+) -> GistPlan:
+    """Run the Schedule Builder and return the rewritten memory plan.
+
+    Args:
+        graph: Training execution graph.
+        config: Technique switches (defaults to everything on, FP16 DPR).
+        sparsity_model: Supplies per-layer sparsity for SSDC sizing.
+        schedule: Precomputed schedule (built if omitted).
+        investigation: Exclude stashed/encoded tensors from memory sharing
+            (the paper's investigation baseline discipline).
+        include_weights: Carry weights/weight-grads in the plan.
+        include_workspace: Carry per-op workspace in the plan.
+    """
+    config = config or GistConfig()
+    sparsity_model = sparsity_model or DEFAULT_SPARSITY_MODEL
+    if schedule is None:
+        schedule = TrainingSchedule(graph)
+
+    plan = build_memory_plan(
+        graph,
+        schedule,
+        include_weights=include_weights,
+        include_workspace=include_workspace,
+    )
+    pools_rewritten = config.binarize
+    stash_infos = classify_all_stashes(graph, schedule)
+    dpr_dtype = DPR_FORMATS[config.dpr_format]
+
+    fm_by_node: Dict[int, LiveTensor] = {
+        t.node_id: t for t in plan.tensors if t.role == ROLE_FEATURE_MAP
+    }
+    new_tensors: List[LiveTensor] = []
+    decisions: Dict[int, EncodingDecision] = {}
+
+    for node in graph.nodes:
+        nid = node.node_id
+        fm = fm_by_node[nid]
+        last_fwd, first_bwd, last_bwd = _feature_map_uses(
+            graph, schedule, nid, pools_rewritten
+        )
+        if first_bwd is None:
+            # Not stashed under the effective needs (e.g. a pool's input
+            # once the argmax rewrite removed the pool's X dependence).
+            fm.death = last_fwd
+            continue
+
+        info: Optional[StashInfo] = stash_infos.get(nid)
+        if info is None:
+            # Stashed only through schedule artifacts (e.g. the loss output
+            # seeding the backward pass) — no real value consumer, nothing
+            # to encode.
+            fm.death = max(last_fwd, last_bwd)
+            continue
+        stash_class = info.stash_class
+        encoding = _encoding_for(stash_class, config)
+        if encoding is None:
+            fm.death = max(last_fwd, last_bwd)
+            continue
+
+        # The FP32 map is relinquished right after its last forward use.
+        fm.death = last_fwd
+        sparsity: Optional[float] = None
+        if encoding == ENC_BINARIZE:
+            enc_spec = TensorSpec(f"{node.name}.out.enc", node.output_shape,
+                                  BIT1, TensorCategory.ENCODED)
+            decoded_bytes = 0  # ReLU backward reads the mask directly.
+        elif encoding == ENC_SSDC:
+            sparsity = sparsity_model.sparsity(graph, nid)
+            value_bits = (
+                dpr_dtype.bits
+                if (config.dpr and config.dpr_over_ssdc)
+                else 32
+            )
+            nbytes = csr_bytes(fm.spec.num_elements, sparsity,
+                               config.ssdc_cols, value_bits)
+            if nbytes >= fm.spec.size_bytes:
+                # Below the compression breakeven (paper: ~20% sparsity
+                # with narrow indices) CSR would expand the stash; fall
+                # back to DPR when lossy is on, else leave it untouched.
+                if config.dpr:
+                    encoding = ENC_DPR
+                    sparsity = None
+                else:
+                    fm.death = max(last_fwd, last_bwd)
+                    continue
+        if encoding == ENC_SSDC:
+            enc_spec = TensorSpec(f"{node.name}.out.enc", (nbytes,), UINT8,
+                                  TensorCategory.ENCODED)
+            decoded_bytes = fm.spec.size_bytes
+        elif encoding == ENC_DPR:
+            enc_spec = TensorSpec(f"{node.name}.out.enc", node.output_shape,
+                                  dpr_dtype, TensorCategory.ENCODED)
+            decoded_bytes = fm.spec.size_bytes
+
+        new_tensors.append(
+            LiveTensor(enc_spec, birth=last_fwd, death=last_bwd,
+                       node_id=nid, role=ROLE_ENCODED)
+        )
+        if decoded_bytes and not config.optimized_software:
+            new_tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.out.dec", node.output_shape,
+                               fm.spec.dtype, TensorCategory.FEATURE_MAP),
+                    birth=first_bwd,
+                    death=last_bwd,
+                    node_id=nid,
+                    role=ROLE_DECODED,
+                )
+            )
+        decisions[nid] = EncodingDecision(
+            node_id=nid,
+            node_name=node.name,
+            stash_class=stash_class,
+            encoding=encoding,
+            fp32_bytes=fm.spec.size_bytes,
+            encoded_bytes=enc_spec.size_bytes,
+            decoded_bytes=0 if config.optimized_software else decoded_bytes,
+            sparsity=sparsity,
+        )
+
+    # Argmax maps for rewritten pools.
+    rewritten_pools: List[int] = []
+    if pools_rewritten:
+        for node in graph.nodes:
+            if not getattr(node.layer, "supports_argmax_map", False):
+                continue
+            if not schedule.has_backward(node.node_id):
+                continue
+            rewritten_pools.append(node.node_id)
+            map_spec = node.layer.argmax_map_spec(node.output_shape)
+            new_tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.argmax", node.output_shape,
+                               map_spec.dtype, TensorCategory.ENCODED),
+                    birth=schedule.forward_time(node.node_id),
+                    death=schedule.backward_time(node.node_id),
+                    node_id=node.node_id,
+                    role=ROLE_ENCODED,
+                )
+            )
+
+    plan.tensors.extend(new_tensors)
+
+    # Inplace merges: the consumer's buffer absorbs the producer's.
+    if config.inplace:
+        merged: List[LiveTensor] = []
+        drop = set()
+        for producer_id, consumer_id in inplace_eligible_edges(graph):
+            producer_fm = fm_by_node[producer_id]
+            consumer_fm = fm_by_node[consumer_id]
+            if producer_fm.spec.name in drop:
+                continue
+            consumer_fm.birth = min(consumer_fm.birth, producer_fm.birth)
+            drop.add(producer_fm.spec.name)
+        plan.tensors = [t for t in plan.tensors if t.spec.name not in drop]
+        del merged
+
+    if investigation:
+        for t in plan.tensors:
+            if plan.classify(t) in (CLASS_STASHED, CLASS_ENCODED):
+                t.shareable = False
+
+    return GistPlan(graph, schedule, plan, config, decisions,
+                    tuple(rewritten_pools))

@@ -1,0 +1,78 @@
+"""Gist's data encodings: Binarize, SSDC, DPR, plus packing substrates."""
+
+from repro.encodings.base import Encoding, IdentityEncoding
+from repro.encodings.binarize import (
+    BinarizedTensor,
+    BinarizeEncoding,
+    argmax_map_bytes,
+    pack_bits,
+    pack_nibbles,
+    unpack_bits,
+    unpack_nibbles,
+)
+from repro.encodings.dpr import (
+    DPREncoding,
+    DPRTensor,
+    dpr_encoding,
+    pack_codes,
+    unpack_codes,
+)
+from repro.encodings.groupquant import (
+    GroupQuantEncoding,
+    GroupQuantPolicy,
+    GroupQuantTensor,
+)
+from repro.encodings.floatsim import (
+    decode_minifloat,
+    encode_minifloat,
+    max_relative_error,
+    quantize,
+)
+from repro.encodings.inplace import inplace_eligible_edges
+from repro.encodings.ssdc import (
+    BitmapTensor,
+    CSRTensor,
+    NARROW_COLS,
+    SSDCEncoding,
+    bitmap_bytes,
+    bitmap_decode,
+    bitmap_encode,
+    csr_bytes,
+    csr_decode,
+    csr_encode,
+)
+
+__all__ = [
+    "BinarizeEncoding",
+    "BinarizedTensor",
+    "BitmapTensor",
+    "CSRTensor",
+    "DPREncoding",
+    "DPRTensor",
+    "Encoding",
+    "GroupQuantEncoding",
+    "GroupQuantPolicy",
+    "GroupQuantTensor",
+    "IdentityEncoding",
+    "NARROW_COLS",
+    "SSDCEncoding",
+    "argmax_map_bytes",
+    "bitmap_bytes",
+    "bitmap_decode",
+    "bitmap_encode",
+    "csr_bytes",
+    "csr_decode",
+    "csr_encode",
+    "decode_minifloat",
+    "dpr_encoding",
+    "encode_minifloat",
+    "inplace_eligible_edges",
+    "max_relative_error",
+    "pack_bits",
+    "pack_codes",
+    "pack_nibbles",
+    "quantize",
+    "unpack_bits",
+    "unpack_codes",
+    "unpack_nibbles",
+]

@@ -1,0 +1,74 @@
+"""Encoding interface.
+
+Each Gist encoding plays two roles, mirroring the static/runtime split of
+the whole library:
+
+* **Static size model** — ``encoded_bytes(num_elements, **ctx)`` tells the
+  schedule builder how many bytes the stashed representation occupies, so
+  the memory planner can account for it exactly.
+* **Runtime codec** — ``encode``/``decode`` transform real NumPy arrays, so
+  the training executor stores what the paper's CUDA kernels would have
+  stored and the accuracy experiments see the true injected error.
+
+``decode(encode(x))`` must reproduce ``x`` exactly for lossless encodings
+(Binarize reproduces the information ReLU's backward pass needs — the
+positivity mask — rather than the values; see its docstring).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+
+class Encoding(abc.ABC):
+    """A storage transform applied to a stashed feature map."""
+
+    #: Identifier used in plans, reports and policy configuration.
+    name: str = "encoding"
+    #: Whether the backward pass sees bit-identical information.
+    lossless: bool = True
+
+    @abc.abstractmethod
+    def encoded_bytes(self, num_elements: int, **ctx) -> int:
+        """Size of the encoded representation, in bytes.
+
+        Context keyword arguments are encoding-specific (e.g. ``sparsity``
+        for SSDC).
+        """
+
+    @abc.abstractmethod
+    def encode(self, x: np.ndarray) -> Any:
+        """Produce the compact stashed representation of ``x``."""
+
+    @abc.abstractmethod
+    def decode(self, encoded: Any) -> np.ndarray:
+        """Reconstruct the array (or mask) the backward pass consumes."""
+
+    def measure_bytes(self, encoded: Any) -> int:
+        """Actual bytes of a runtime-encoded object (for sparsity studies)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class IdentityEncoding(Encoding):
+    """Baseline 'encoding': stash the raw FP32 array."""
+
+    name = "identity"
+    lossless = True
+
+    def encoded_bytes(self, num_elements: int, **ctx) -> int:
+        return 4 * num_elements
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def decode(self, encoded: np.ndarray) -> np.ndarray:
+        return encoded
+
+    def measure_bytes(self, encoded: np.ndarray) -> int:
+        return encoded.size * 4

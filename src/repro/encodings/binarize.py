@@ -1,0 +1,109 @@
+"""Binarize: the 1-bit encoding for ReLU-Pool feature maps.
+
+Paper Section IV-A: for a ReLU whose only consumer is a max-pool, the ReLU
+output's two backward uses are (a) ReLU's own backward pass, which needs
+only whether each element is positive, and (b) the pool's backward pass,
+which — once the pool is rewritten to record a Y-to-X argmax map in its
+forward pass — does not need the values at all.  So the stashed FP32 map
+is replaced by a 1-bit positivity mask: 32x compression for the ReLU
+output, and the pool's stash shrinks to a 4-bit-per-output-element map
+(8x for the pool side; ~16x combined for the ReLU-Pool pair).
+
+This module supplies the bit packing for both data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dtypes import BIT1, NIBBLE4
+from repro.encodings.base import Encoding
+
+
+def pack_bits(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into uint32 words, 32 values per word."""
+    flat = np.asarray(mask, dtype=bool).ravel()
+    bits = np.packbits(flat, bitorder="little")
+    pad = (-bits.size) % 4
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    return bits.view(np.uint32)
+
+
+def unpack_bits(words: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a boolean array of ``shape``."""
+    n = int(np.prod(shape))
+    bits = np.unpackbits(words.view(np.uint8), count=n, bitorder="little")
+    return bits.astype(bool).reshape(shape)
+
+
+def pack_nibbles(values: np.ndarray) -> np.ndarray:
+    """Pack 0..15 integers into uint32 words, 8 values per word."""
+    flat = np.asarray(values).ravel().astype(np.uint8)
+    if flat.size and flat.max() > 15:
+        raise ValueError("nibble packing requires values in [0, 15]")
+    if flat.size % 2:
+        flat = np.concatenate([flat, np.zeros(1, dtype=np.uint8)])
+    paired = (flat[0::2] | (flat[1::2] << 4)).astype(np.uint8)
+    pad = (-paired.size) % 4
+    if pad:
+        paired = np.concatenate([paired, np.zeros(pad, dtype=np.uint8)])
+    return paired.view(np.uint32)
+
+
+def unpack_nibbles(words: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_nibbles`; returns uint8 values of ``shape``."""
+    n = int(np.prod(shape))
+    bytes_ = words.view(np.uint8)
+    lo = bytes_ & np.uint8(0x0F)
+    hi = bytes_ >> np.uint8(4)
+    inter = np.empty(bytes_.size * 2, dtype=np.uint8)
+    inter[0::2] = lo
+    inter[1::2] = hi
+    return inter[:n].reshape(shape)
+
+
+@dataclass(frozen=True)
+class BinarizedTensor:
+    """Packed 1-bit positivity mask plus the original shape."""
+
+    words: np.ndarray
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage bytes (whole 32-bit words)."""
+        return self.words.size * 4
+
+
+class BinarizeEncoding(Encoding):
+    """1-bit-per-element stash for ReLU outputs feeding a max-pool.
+
+    ``decode`` returns the boolean positivity mask — the exact information
+    ReLU's backward pass consumes (``dX = dY * mask``) — not the FP32
+    values, which by construction nothing downstream needs.  The encoding
+    is lossless with respect to every gradient computed from it.
+    """
+
+    name = "binarize"
+    lossless = True
+
+    def encoded_bytes(self, num_elements: int, **ctx) -> int:
+        return BIT1.size_bytes(num_elements)
+
+    def encode(self, x: np.ndarray) -> BinarizedTensor:
+        return BinarizedTensor(pack_bits(x > 0), tuple(x.shape))
+
+    def decode(self, encoded: BinarizedTensor) -> np.ndarray:
+        return unpack_bits(encoded.words, encoded.shape)
+
+    def measure_bytes(self, encoded: BinarizedTensor) -> int:
+        return encoded.nbytes
+
+
+def argmax_map_bytes(num_pool_outputs: int) -> int:
+    """Bytes of the pool's 4-bit Y-to-X argmax map."""
+    return NIBBLE4.size_bytes(num_pool_outputs)

@@ -1,0 +1,109 @@
+"""Delayed Precision Reduction (DPR): Gist's lossy encoding.
+
+DPR stores a stashed feature map in FP16, FP10 or FP8 *only for the gap
+between its forward and backward uses*; computation stays FP32 on both
+ends.  Values are packed 2, 3 or 4 per 32-bit word (FP10 wastes 2 bits per
+word — the paper packs three 10-bit values into 4 bytes).
+
+The crucial property reproduced here: because the reduction is applied
+*after* the forward consumer has read the full-precision value, the
+quantisation error reaches only the backward pass, which tolerates as few
+as 8 bits — whereas quantising in the forward pass (the prior-work
+"All-FP16" baseline in Figure 12) compounds error layer over layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dtypes import DPR_FORMATS, DType
+from repro.encodings.base import Encoding
+from repro.encodings.floatsim import decode_minifloat, encode_minifloat
+
+# Bit offsets of each packed value within a 32-bit word, per format.
+_OFFSETS = {2: (0, 16), 3: (0, 10, 20), 4: (0, 8, 16, 24)}
+
+
+def pack_codes(codes: np.ndarray, dtype: DType) -> np.ndarray:
+    """Pack ``dtype.bits``-wide codes into uint32 words."""
+    if dtype.values_per_word not in _OFFSETS:
+        raise ValueError(f"dtype {dtype.name} is not a packable DPR format")
+    k = dtype.values_per_word
+    flat = np.asarray(codes, dtype=np.uint32).ravel()
+    pad = (-flat.size) % k
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint32)])
+    lanes = flat.reshape(-1, k)
+    words = np.zeros(lanes.shape[0], dtype=np.uint32)
+    for lane, offset in enumerate(_OFFSETS[k]):
+        words |= lanes[:, lane] << np.uint32(offset)
+    return words
+
+
+def unpack_codes(words: np.ndarray, n: int, dtype: DType) -> np.ndarray:
+    """Extract ``n`` codes from packed uint32 words."""
+    k = dtype.values_per_word
+    mask = np.uint32((1 << dtype.bits) - 1)
+    lanes = [
+        (words >> np.uint32(offset)) & mask for offset in _OFFSETS[k]
+    ]
+    inter = np.stack(lanes, axis=1).ravel()
+    return inter[:n]
+
+
+@dataclass(frozen=True)
+class DPRTensor:
+    """Packed reduced-precision stash plus reconstruction metadata."""
+
+    words: np.ndarray
+    shape: Tuple[int, ...]
+    dtype: DType
+
+    @property
+    def nbytes(self) -> int:
+        """Storage bytes (whole 32-bit words)."""
+        return self.words.size * 4
+
+
+class DPREncoding(Encoding):
+    """Store a feature map as packed FP16/FP10/FP8 between its two uses."""
+
+    lossless = False
+
+    def __init__(self, dtype: DType, rounding: str = "nearest"):
+        if dtype.values_per_word not in _OFFSETS:
+            raise ValueError(
+                f"DPR supports {sorted(DPR_FORMATS)}, got {dtype.name!r}"
+            )
+        self.dtype = dtype
+        self.rounding = rounding
+        self.name = f"dpr-{dtype.name}"
+
+    def encoded_bytes(self, num_elements: int, **ctx) -> int:
+        return self.dtype.size_bytes(num_elements)
+
+    def encode(self, x: np.ndarray) -> DPRTensor:
+        codes = encode_minifloat(x, self.dtype, self.rounding)
+        return DPRTensor(pack_codes(codes, self.dtype), tuple(x.shape), self.dtype)
+
+    def decode(self, encoded: DPRTensor) -> np.ndarray:
+        n = int(np.prod(encoded.shape))
+        codes = unpack_codes(encoded.words, n, encoded.dtype)
+        return decode_minifloat(codes, encoded.dtype).reshape(encoded.shape)
+
+    def measure_bytes(self, encoded: DPRTensor) -> int:
+        return encoded.nbytes
+
+
+def dpr_encoding(format_name: str, rounding: str = "nearest") -> DPREncoding:
+    """Build a :class:`DPREncoding` from a format name (fp16/fp10/fp8)."""
+    try:
+        dtype = DPR_FORMATS[format_name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown DPR format {format_name!r}; choose from {sorted(DPR_FORMATS)}"
+        ) from None
+    return DPREncoding(dtype, rounding)

@@ -1,0 +1,127 @@
+"""Bit-exact minifloat quantisation (the substrate for DPR).
+
+Implements the paper's reduced-precision storage formats:
+
+* FP16 — 1 sign / 5 exponent / 10 mantissa bits,
+* FP10 — 1 sign / 5 exponent / 4 mantissa bits,
+* FP8  — 1 sign / 4 exponent / 3 mantissa bits,
+
+with the paper's exact conversion rules: round-to-nearest, clamping at the
+format's maximum/minimum representable magnitude (no infinities), and
+denormals flushed to zero ("we ignore denormalized numbers as they have
+negligible effect on CNN accuracy").
+
+Two levels of API:
+
+* :func:`encode_minifloat` / :func:`decode_minifloat` — produce and consume
+  raw integer *bit patterns*, used by the DPR packer.
+* :func:`quantize` — encode-then-decode in one step, used wherever only the
+  value error matters (accuracy experiments, error-bound property tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import DType
+
+
+def _check_minifloat(dtype: DType) -> None:
+    if dtype.exponent_bits is None or dtype.mantissa_bits is None:
+        raise ValueError(f"dtype {dtype.name} is not a float format")
+    if dtype.bits > 32:
+        raise ValueError(f"dtype {dtype.name} too wide for 32-bit codes")
+
+
+def encode_minifloat(x: np.ndarray, dtype: DType, rounding: str = "nearest") -> np.ndarray:
+    """Quantise FP32 values to integer bit patterns of ``dtype``.
+
+    Args:
+        x: Input array (any shape); converted to float32 first.
+        dtype: Target minifloat format.
+        rounding: ``"nearest"`` (round-half-even, the paper's choice) or
+            ``"truncate"`` (ablation).
+
+    Returns:
+        ``uint32`` array of ``x.shape`` holding ``dtype.bits``-wide codes.
+    """
+    _check_minifloat(dtype)
+    if rounding not in ("nearest", "truncate"):
+        raise ValueError(f"unknown rounding mode {rounding!r}")
+    eb, mb = dtype.exponent_bits, dtype.mantissa_bits
+    bias = dtype.exponent_bias
+    x = np.asarray(x, dtype=np.float32)
+
+    sign = (np.signbit(x)).astype(np.uint32)
+    mag = np.abs(x.astype(np.float64))
+    # NaNs have no meaning in feature maps; map them to zero for safety.
+    mag = np.where(np.isnan(mag), 0.0, mag)
+    # Clamp overflow at the largest finite magnitude (paper: "the value is
+    # clamped at maximum/minimum value").
+    mag = np.minimum(mag, dtype.max_finite)
+
+    with np.errstate(divide="ignore"):
+        frac, exp = np.frexp(mag)  # mag == frac * 2**exp, frac in [0.5, 1)
+    # Re-normalise to 1.f * 2**e form.
+    e = exp - 1
+    f = frac * 2.0 - 1.0  # in [0, 1)
+    scaled = f * (1 << mb)
+    if rounding == "nearest":
+        mant = np.rint(scaled)
+    else:
+        mant = np.floor(scaled)
+    # Mantissa overflow carries into the exponent.
+    carry = mant >= (1 << mb)
+    mant = np.where(carry, 0.0, mant)
+    e = e + carry.astype(np.int64)
+    biased = e + bias
+    # After the carry the magnitude may exceed max_finite: clamp the code.
+    # The all-ones exponent is reserved (IEEE convention), so the largest
+    # usable biased exponent is 2**eb - 2.
+    max_biased = (1 << eb) - 2
+    over = biased > max_biased
+    biased = np.where(over, max_biased, biased)
+    mant = np.where(over, (1 << mb) - 1, mant)
+    # Denormals (biased exponent < 1) flush to zero; so does exact zero.
+    zero = (biased < 1) | (mag == 0.0)
+    biased = np.where(zero, 0, biased)
+    mant = np.where(zero, 0, mant)
+    sign = np.where(zero, 0, sign).astype(np.uint32)
+
+    code = (
+        (sign << np.uint32(eb + mb))
+        | (biased.astype(np.uint32) << np.uint32(mb))
+        | mant.astype(np.uint32)
+    )
+    return code.astype(np.uint32)
+
+
+def decode_minifloat(codes: np.ndarray, dtype: DType) -> np.ndarray:
+    """Expand integer bit patterns of ``dtype`` back to FP32 values."""
+    _check_minifloat(dtype)
+    eb, mb = dtype.exponent_bits, dtype.mantissa_bits
+    bias = dtype.exponent_bias
+    codes = np.asarray(codes, dtype=np.uint32)
+    sign = (codes >> np.uint32(eb + mb)) & np.uint32(1)
+    biased = (codes >> np.uint32(mb)) & np.uint32((1 << eb) - 1)
+    mant = codes & np.uint32((1 << mb) - 1)
+    value = (1.0 + mant.astype(np.float64) / (1 << mb)) * np.exp2(
+        biased.astype(np.float64) - bias
+    )
+    value = np.where(biased == 0, 0.0, value)
+    value = np.where(sign == 1, -value, value)
+    return value.astype(np.float32)
+
+
+def quantize(x: np.ndarray, dtype: DType, rounding: str = "nearest") -> np.ndarray:
+    """Round-trip ``x`` through ``dtype``: the value error DPR injects."""
+    return decode_minifloat(encode_minifloat(x, dtype, rounding), dtype)
+
+
+def max_relative_error(dtype: DType) -> float:
+    """Worst-case relative rounding error for in-range normal values.
+
+    Half a unit in the last place: ``2 ** -(mantissa_bits + 1)``.
+    """
+    _check_minifloat(dtype)
+    return 2.0 ** -(dtype.mantissa_bits + 1)

@@ -1,0 +1,54 @@
+"""Inplace-computation optimisation (paper Section III-C).
+
+Layers with a read-once/write-once element mapping (chiefly ReLU) can
+write their output into the producer's buffer, eliminating one immediately
+consumed feature map per conv-ReLU pair.  This module identifies the
+eligible edges; :mod:`repro.core.schedule_builder` applies the merge to
+the memory plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+
+
+def inplace_eligible_edges(graph: Graph) -> List[Tuple[int, int]]:
+    """(producer_id, consumer_id) pairs where the consumer may run inplace.
+
+    Requirements (all must hold, otherwise a backward pass would read a
+    clobbered buffer):
+
+    * the consumer supports inplace (read-once/write-once mapping);
+    * it is the producer's *only* forward consumer;
+    * the producer's backward pass does not read its own output;
+    * the consumer's backward pass does not read its input;
+    * the producer is a real op (not the graph input — the minibatch buffer
+      is owned by the data loader);
+    * producer and consumer outputs occupy the same number of elements.
+    """
+    edges: List[Tuple[int, int]] = []
+    for node in graph.nodes:
+        if node.node_id == graph.input_id:
+            continue
+        consumers = graph.consumers(node.node_id)
+        if len(consumers) != 1:
+            continue
+        consumer = consumers[0]
+        if not consumer.layer.supports_inplace:
+            continue
+        if node.layer.backward_needs_output:
+            continue
+        if consumer.layer.backward_needs_input:
+            continue
+        prod_elems = 1
+        for d in node.output_shape:
+            prod_elems *= d
+        cons_elems = 1
+        for d in consumer.output_shape:
+            cons_elems *= d
+        if prod_elems != cons_elems:
+            continue
+        edges.append((node.node_id, consumer.node_id))
+    return edges

@@ -1,0 +1,205 @@
+"""One-call drivers for the paper's experiments.
+
+The benchmark harness (``benchmarks/``) asserts the reproduction's shape
+claims; this module exposes the same computations as plain library
+functions, for notebooks and downstream studies.  Every function returns
+ordinary dicts/lists of built-in types — directly serialisable, directly
+plottable.
+
+Static analyses accept any registered model name; training studies run on
+the scaled substitution workload (see DESIGN.md §2) and are configurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import Gist, GistConfig, stash_bytes_by_class
+from repro.memory import build_memory_plan
+from repro.models import PAPER_SUITE, build_model
+from repro.perf import (
+    larger_minibatch_speedup,
+    measure_overhead,
+    measure_transfer_energy,
+    simulate_swapping,
+)
+
+
+def figure8_mfr(models: Optional[Sequence[str]] = None,
+                batch_size: int = 64) -> List[dict]:
+    """Figure 8: per-network lossless and lossless+lossy MFR."""
+    rows = []
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        cfg = GistConfig.for_network(name)
+        rows.append({
+            "network": name,
+            "dpr_format": cfg.dpr_format,
+            "mfr_lossless": Gist(GistConfig.lossless()).measure_mfr(graph).mfr,
+            "mfr_full": Gist(cfg).measure_mfr(graph).mfr,
+        })
+    return rows
+
+
+def figure3_stash_classes(models: Optional[Sequence[str]] = None,
+                          batch_size: int = 64) -> Dict[str, Dict[str, float]]:
+    """Figure 3: per-network stash-class byte fractions."""
+    out = {}
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        raw = stash_bytes_by_class(graph)
+        total = sum(raw.values())
+        out[name] = {cls: nbytes / total for cls, nbytes in raw.items()}
+    return out
+
+
+def figure9_overheads(models: Optional[Sequence[str]] = None,
+                      batch_size: int = 64) -> List[dict]:
+    """Figure 9 + 15 + energy: performance/energy cost per strategy."""
+    rows = []
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        cfg = GistConfig.for_network(name)
+        gist = measure_overhead(graph, cfg)
+        swap = simulate_swapping(graph)
+        energy = measure_transfer_energy(graph, cfg)
+        rows.append({
+            "network": name,
+            "gist_overhead": gist.overhead_frac,
+            "vdnn_overhead": swap.vdnn_overhead,
+            "naive_overhead": swap.naive_overhead,
+            "energy_ratio_vdnn_over_gist": energy.ratio,
+        })
+    return rows
+
+
+def figure16_speedups(depths: Sequence[int] = (509, 851, 1202),
+                      dpr_format: str = "fp10",
+                      device=None) -> List[dict]:
+    """Figure 16: larger-minibatch speedups for deep CIFAR ResNets."""
+    from repro.models import resnet_cifar
+    from repro.perf import TITAN_X_MAXWELL
+
+    rows = []
+    config = GistConfig.full(dpr_format)
+    for depth in depths:
+        report = larger_minibatch_speedup(
+            lambda b, d=depth: resnet_cifar(d, batch_size=b),
+            config,
+            device=device or TITAN_X_MAXWELL,
+            name=f"resnet-{depth}",
+        )
+        rows.append({
+            "network": report.model,
+            "baseline_batch": report.baseline_batch,
+            "gist_batch": report.gist_batch,
+            "speedup": report.speedup,
+        })
+    return rows
+
+
+def figure12_accuracy(epochs: int = 6, seed: int = 3) -> Dict[str, List[float]]:
+    """Figure 12: accuracy-loss curves per stash policy (scaled workload).
+
+    Returns ``policy label -> per-epoch accuracy-loss``.
+    """
+    from repro.dtypes import FP8, FP16
+    from repro.models import scaled_vgg
+    from repro.train import (
+        GistPolicy,
+        SGD,
+        Trainer,
+        UniformReductionPolicy,
+        make_synthetic,
+    )
+
+    train_set, test_set = make_synthetic(num_samples=640, num_classes=8,
+                                         image_size=16, noise=1.2, seed=seed)
+    arms = [
+        ("baseline-fp32", lambda g: None),
+        ("all-fp16", lambda g: UniformReductionPolicy(FP16)),
+        ("all-fp8", lambda g: UniformReductionPolicy(FP8)),
+        ("gist-dpr-fp16", lambda g: GistPolicy(g, GistConfig(dpr_format="fp16"))),
+        ("gist-dpr-fp10", lambda g: GistPolicy(g, GistConfig(dpr_format="fp10"))),
+        ("gist-dpr-fp8", lambda g: GistPolicy(g, GistConfig(dpr_format="fp8"))),
+    ]
+    curves = {}
+    for label, make_policy in arms:
+        graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16,
+                           width=8)
+        trainer = Trainer(graph, make_policy(graph),
+                          SGD(lr=0.01, momentum=0.9), seed=0)
+        result = trainer.train(train_set, test_set, epochs=epochs,
+                               label=label)
+        curves[label] = result.accuracy_loss_curve
+    return curves
+
+
+def figure14_ssdc_series(epochs: int = 3, sample_every: int = 4,
+                         seed: int = 3) -> Dict[str, List[float]]:
+    """Figure 14: per-layer SSDC compression over training minibatches."""
+    from repro.core import STASH_RELU_CONV, classify_all_stashes
+    from repro.models import scaled_vgg
+    from repro.train import (
+        GistPolicy,
+        SGD,
+        Trainer,
+        feature_map_elements,
+        make_synthetic,
+    )
+
+    graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16, width=8)
+    train_set, test_set = make_synthetic(num_samples=640, num_classes=8,
+                                         image_size=16, noise=1.2, seed=seed)
+    trainer = Trainer(graph, GistPolicy(graph, GistConfig.lossless()),
+                      SGD(lr=0.01, momentum=0.9), seed=0)
+    result = trainer.train(train_set, test_set, epochs=epochs,
+                           sparsity_every=sample_every)
+    layers = [
+        graph.node(nid).name
+        for nid, info in classify_all_stashes(graph).items()
+        if info.stash_class == STASH_RELU_CONV
+        and graph.node(nid).kind == "relu"
+    ]
+    elements = feature_map_elements(graph)
+    series: Dict[str, List[float]] = {name: [] for name in layers}
+    for sample in result.sparsity_samples:
+        ratios = sample.compression_ratios(elements)
+        for name in layers:
+            series[name].append(ratios[name])
+    return series
+
+
+def figure17_dynamic(models: Optional[Sequence[str]] = None,
+                     batch_size: int = 64) -> List[dict]:
+    """Figure 17: MFR under dynamic allocation arms."""
+    from repro.core import footprint_bytes
+
+    rows = []
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        cfg = GistConfig.for_network(name)
+        static_base = footprint_bytes(graph, None)
+        rows.append({
+            "network": name,
+            "dynamic": static_base / footprint_bytes(graph, None, dynamic=True),
+            "dynamic_lossless": static_base / footprint_bytes(
+                graph, GistConfig.lossless(), dynamic=True),
+            "dynamic_full": static_base / footprint_bytes(
+                graph, cfg, dynamic=True),
+            "dynamic_optimized": static_base / footprint_bytes(
+                graph, cfg.with_(optimized_software=True), dynamic=True),
+        })
+    return rows
+
+
+def baseline_memory_breakdown(models: Optional[Sequence[str]] = None,
+                              batch_size: int = 64) -> Dict[str, Dict[str, int]]:
+    """Figure 1: full per-class byte breakdown (weights and workspace in)."""
+    out = {}
+    for name in models or PAPER_SUITE:
+        graph = build_model(name, batch_size=batch_size)
+        plan = build_memory_plan(graph, include_weights=True,
+                                 include_workspace=True)
+        out[name] = plan.bytes_by_class()
+    return out

@@ -1,0 +1,88 @@
+"""Fluent builder for training execution graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.graph.graph import Graph, GraphError
+from repro.graph.node import OpNode
+from repro.layers.base import InputLayer, Layer, Shape
+
+
+class NodeRef:
+    """Opaque handle to a node under construction."""
+
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+
+class GraphBuilder:
+    """Constructs a :class:`~repro.graph.graph.Graph` with shape checking.
+
+    Example::
+
+        b = GraphBuilder("tiny", input_shape=(8, 3, 32, 32))
+        x = b.add(Conv2D(16, 3, pad=1), b.input, name="conv1")
+        x = b.add(ReLU(), x)
+        b.mark_output(x)
+        graph = b.build()
+    """
+
+    def __init__(self, name: str, input_shape: Shape):
+        self.name = name
+        self._nodes: Dict[int, OpNode] = {}
+        self._names: set = set()
+        self._next_id = 0
+        self._output: Optional[NodeRef] = None
+        self._counters: Dict[str, int] = {}
+        self.input = self._add_node(InputLayer(tuple(input_shape)), [], "input")
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        layer: Layer,
+        inputs: Union[NodeRef, Sequence[NodeRef]],
+        name: Optional[str] = None,
+    ) -> NodeRef:
+        """Append an op consuming ``inputs``; returns a ref to the new node."""
+        if isinstance(inputs, NodeRef):
+            inputs = [inputs]
+        if not inputs:
+            raise GraphError(f"op {name or layer.kind!r} must have at least one input")
+        return self._add_node(layer, [r.node_id for r in inputs], name)
+
+    def shape_of(self, ref: NodeRef) -> Shape:
+        """Output shape of a node under construction."""
+        return self._nodes[ref.node_id].output_shape
+
+    def mark_output(self, ref: NodeRef) -> None:
+        """Declare the graph output (typically the loss node)."""
+        self._output = ref
+
+    def build(self) -> Graph:
+        """Finalise and validate the graph."""
+        if self._output is None:
+            # Default: the last node added.
+            last_id = max(self._nodes)
+            self._output = NodeRef(last_id)
+        return Graph(self.name, self._nodes, self.input.node_id, self._output.node_id)
+
+    # ------------------------------------------------------------------
+    def _add_node(
+        self, layer: Layer, input_ids: List[int], name: Optional[str]
+    ) -> NodeRef:
+        if name is None:
+            count = self._counters.get(layer.kind, 0) + 1
+            self._counters[layer.kind] = count
+            name = f"{layer.kind}{count}"
+        if name in self._names:
+            raise GraphError(f"duplicate node name {name!r}")
+        input_shapes = tuple(self._nodes[i].output_shape for i in input_ids)
+        output_shape = layer.infer_shape(input_shapes)
+        node = OpNode(self._next_id, name, layer, list(input_ids), tuple(output_shape))
+        self._nodes[self._next_id] = node
+        self._names.add(name)
+        self._next_id += 1
+        return NodeRef(node.node_id)

@@ -1,0 +1,234 @@
+"""Static liveness analysis over a training schedule.
+
+For every tensor that exists during a training step — feature maps,
+gradient maps, weights, weight gradients, workspace and per-layer saved
+state — this module computes its ``[birth, death]`` interval on the
+schedule's discrete clock.  The Gist Schedule Builder (in
+:mod:`repro.core.schedule_builder`) rewrites these intervals when it
+inserts encode/decode ops; the memory allocator then shares space between
+tensors with disjoint intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dtypes import FP32, UINT8
+from repro.graph.graph import Graph
+from repro.graph.schedule import TrainingSchedule
+from repro.tensor.categories import TensorCategory
+from repro.tensor.spec import TensorSpec
+
+# Tensor roles: how a LiveTensor relates to its owning node.
+ROLE_FEATURE_MAP = "feature_map"
+ROLE_GRADIENT_MAP = "gradient_map"
+ROLE_WEIGHT = "weight"
+ROLE_WEIGHT_GRAD = "weight_grad"
+ROLE_WORKSPACE = "workspace"
+ROLE_STATE = "state"
+ROLE_ENCODED = "encoded"
+ROLE_DECODED = "decoded"
+
+
+@dataclass
+class LiveTensor:
+    """A tensor plus its lifetime on the schedule clock.
+
+    Attributes:
+        spec: Shape/dtype/category descriptor.
+        birth: Time index at which the tensor is produced.
+        death: Time index of the tensor's last use (inclusive).
+        node_id: Owning graph node.
+        role: One of the ``ROLE_*`` constants.
+        shareable: Whether the allocator may place this tensor in a shared
+            group.  The paper's *investigation baseline* switches this off
+            for stashed feature maps.
+    """
+
+    spec: TensorSpec
+    birth: int
+    death: int
+    node_id: int
+    role: str
+    shareable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.death < self.birth:
+            raise ValueError(
+                f"tensor {self.spec.name!r}: death {self.death} precedes "
+                f"birth {self.birth}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.spec.size_bytes
+
+    def overlaps(self, other: "LiveTensor") -> bool:
+        """Whether the two lifetime intervals share any time step."""
+        return not (self.death < other.birth or other.death < self.birth)
+
+
+def feature_map_last_uses(
+    graph: Graph, schedule: TrainingSchedule, node_id: int
+) -> tuple:
+    """(last forward use, last backward use or None) for a node's output.
+
+    The forward use set contains the producing op and every forward
+    consumer; the backward use set contains the producer's backward op (if
+    it declares ``backward_needs_output``) and each consumer's backward op
+    (if it declares ``backward_needs_input``).
+    """
+    node = graph.node(node_id)
+    last_fwd = schedule.forward_time(node_id)
+    for consumer in graph.consumers(node_id):
+        last_fwd = max(last_fwd, schedule.forward_time(consumer.node_id))
+    backward_uses = []
+    if node.layer.backward_needs_output and schedule.has_backward(node_id):
+        backward_uses.append(schedule.backward_time(node_id))
+    for consumer in graph.consumers(node_id):
+        if consumer.layer.backward_needs_input and schedule.has_backward(
+            consumer.node_id
+        ):
+            backward_uses.append(schedule.backward_time(consumer.node_id))
+    last_bwd = max(backward_uses) if backward_uses else None
+    first_bwd = min(backward_uses) if backward_uses else None
+    return last_fwd, first_bwd, last_bwd
+
+
+def compute_lifetimes(
+    graph: Graph,
+    schedule: Optional[TrainingSchedule] = None,
+    include_weights: bool = True,
+    include_workspace: bool = True,
+) -> List[LiveTensor]:
+    """Full liveness table for one training step.
+
+    Args:
+        graph: The training execution graph.
+        schedule: Precomputed schedule; built from ``graph`` if omitted.
+        include_weights: Include weights and weight gradients (the paper's
+            "CNTK baseline" excludes them from footprint accounting).
+        include_workspace: Include per-op cuDNN-style workspace.
+
+    Returns:
+        One :class:`LiveTensor` per tensor, in deterministic order.
+    """
+    if schedule is None:
+        schedule = TrainingSchedule(graph)
+    end = schedule.end
+    tensors: List[LiveTensor] = []
+
+    for node in graph.nodes:
+        nid = node.node_id
+        f_t = schedule.forward_time(nid)
+        input_shapes = node.input_shapes(graph)
+
+        # --- Feature map (this node's output) ---------------------------
+        last_fwd, _, last_bwd = feature_map_last_uses(graph, schedule, nid)
+        death = last_bwd if last_bwd is not None else last_fwd
+        # The loss output seeds the backward pass.
+        if nid == graph.output_id and schedule.has_backward(nid):
+            death = max(death, schedule.backward_time(nid))
+        tensors.append(
+            LiveTensor(
+                TensorSpec(f"{node.name}.out", node.output_shape, FP32,
+                           TensorCategory.FEATURE_MAP),
+                birth=f_t,
+                death=max(death, f_t),
+                node_id=nid,
+                role=ROLE_FEATURE_MAP,
+            )
+        )
+
+        # --- Gradient map (gradient w.r.t. this node's output) ----------
+        if schedule.has_backward(nid):
+            b_t = schedule.backward_time(nid)
+            producer_times = [
+                schedule.backward_time(c.node_id)
+                for c in graph.consumers(nid)
+                if schedule.has_backward(c.node_id)
+            ]
+            birth = min(producer_times) if producer_times else b_t
+            tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.grad", node.output_shape, FP32,
+                               TensorCategory.GRADIENT_MAP),
+                    birth=birth,
+                    death=b_t,
+                    node_id=nid,
+                    role=ROLE_GRADIENT_MAP,
+                )
+            )
+
+        # --- Weights and weight gradients -------------------------------
+        if include_weights:
+            for pname, pshape in node.layer.param_shapes(input_shapes).items():
+                tensors.append(
+                    LiveTensor(
+                        TensorSpec(f"{node.name}.{pname}", pshape, FP32,
+                                   TensorCategory.WEIGHT),
+                        birth=0,
+                        death=end,
+                        node_id=nid,
+                        role=ROLE_WEIGHT,
+                        shareable=False,
+                    )
+                )
+                if schedule.has_backward(nid):
+                    tensors.append(
+                        LiveTensor(
+                            TensorSpec(f"{node.name}.d{pname}", pshape, FP32,
+                                       TensorCategory.WEIGHT_GRAD),
+                            birth=schedule.backward_time(nid),
+                            death=end,
+                            node_id=nid,
+                            role=ROLE_WEIGHT_GRAD,
+                            shareable=False,
+                        )
+                    )
+
+        # --- Saved per-layer state ---------------------------------------
+        if schedule.has_backward(nid):
+            b_t = schedule.backward_time(nid)
+            for state in node.layer.saved_state_specs(input_shapes, node.output_shape):
+                tensors.append(
+                    LiveTensor(
+                        TensorSpec(f"{node.name}.{state.key}", state.shape,
+                                   state.dtype, TensorCategory.SAVED_STATE),
+                        birth=f_t,
+                        death=b_t,
+                        node_id=nid,
+                        role=ROLE_STATE,
+                    )
+                )
+
+        # --- Workspace ----------------------------------------------------
+        if include_workspace:
+            ws = node.layer.workspace_bytes(input_shapes, node.output_shape)
+            if ws > 0:
+                tensors.append(
+                    LiveTensor(
+                        TensorSpec(f"{node.name}.ws_f", (ws,), UINT8,
+                                   TensorCategory.WORKSPACE),
+                        birth=f_t,
+                        death=f_t,
+                        node_id=nid,
+                        role=ROLE_WORKSPACE,
+                    )
+                )
+                if schedule.has_backward(nid):
+                    b_t = schedule.backward_time(nid)
+                    tensors.append(
+                        LiveTensor(
+                            TensorSpec(f"{node.name}.ws_b", (ws,), UINT8,
+                                       TensorCategory.WORKSPACE),
+                            birth=b_t,
+                            death=b_t,
+                            node_id=nid,
+                            role=ROLE_WORKSPACE,
+                        )
+                    )
+
+    return tensors

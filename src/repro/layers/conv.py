@@ -1,0 +1,132 @@
+"""2-D convolution implemented via im2col + GEMM.
+
+Backward-pass dependence (paper Figure 4(d)): convolution needs its stashed
+*input* ``X`` (for the weight gradient) but not its output — which is why
+Binarize cannot be applied to a ReLU whose consumer is a convolution, and
+SSDC is used there instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, OpContext, Shape
+from repro.layers.im2col import col2im, conv_output_hw, im2col
+
+
+class Conv2D(Layer):
+    """Convolution over NCHW tensors.
+
+    Args:
+        out_channels: Number of filters ``F``.
+        kernel: Square kernel size, or ``(kh, kw)``.
+        stride: Window stride.
+        pad: Symmetric zero padding.
+        bias: Whether to learn a per-filter bias.
+    """
+
+    kind = "conv"
+    backward_needs_input = True
+    backward_needs_output = False
+
+    def __init__(
+        self,
+        out_channels: int,
+        kernel,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+    ):
+        if out_channels <= 0:
+            raise ValueError(f"out_channels must be positive, got {out_channels}")
+        self.out_channels = out_channels
+        self.kh, self.kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if pad < 0:
+            raise ValueError(f"pad must be non-negative, got {pad}")
+        self.stride = stride
+        self.pad = pad
+        self.bias = bias
+
+    # ------------------------------------------------------------------
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        n, c, h, w = shape
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        return (n, self.out_channels, oh, ow)
+
+    def param_shapes(self, input_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        (shape,) = input_shapes
+        c = shape[1]
+        shapes = {"w": (self.out_channels, c, self.kh, self.kw)}
+        if self.bias:
+            shapes["b"] = (self.out_channels,)
+        return shapes
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        c = input_shapes[0][1]
+        n, f, oh, ow = output_shape
+        return 2 * n * f * oh * ow * c * self.kh * self.kw
+
+    def workspace_bytes(
+        self, input_shapes: Sequence[Shape], output_shape: Shape
+    ) -> int:
+        # Memory-optimal cuDNN (implicit GEMM) needs roughly one filter
+        # matrix of scratch, not a full im2col buffer.
+        c = input_shapes[0][1]
+        return 4 * self.out_channels * c * self.kh * self.kw
+
+    # ------------------------------------------------------------------
+    def init_params(self, input_shapes, rng):
+        c = input_shapes[0][1]
+        fan_in = c * self.kh * self.kw
+        std = np.sqrt(2.0 / fan_in)  # He init, suits ReLU networks
+        params = {
+            "w": rng.normal(0.0, std, (self.out_channels, c, self.kh, self.kw)).astype(
+                np.float32
+            )
+        }
+        if self.bias:
+            params["b"] = np.zeros(self.out_channels, dtype=np.float32)
+        return params
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        n, c, h, w = x.shape
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        wmat = params["w"].reshape(self.out_channels, -1)
+        y = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+        if self.bias:
+            y += params["b"][None, :, None]
+        return y.reshape(n, self.out_channels, oh, ow).astype(np.float32, copy=False)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        x = ctx.stashed_input()
+        n, f, oh, ow = dy.shape
+        dy_mat = dy.reshape(n, f, oh * ow)
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(
+            params["w"].shape
+        )
+        wmat = params["w"].reshape(f, -1)
+        dcols = np.einsum("fk,nfp->nkp", wmat, dy_mat, optimize=True)
+        dx = col2im(dcols, x.shape, self.kh, self.kw, self.stride, self.pad)
+        dparams = {"w": dw.astype(np.float32, copy=False)}
+        if self.bias:
+            dparams["b"] = dy.sum(axis=(0, 2, 3)).astype(np.float32, copy=False)
+        return [dx.astype(np.float32, copy=False)], dparams

@@ -1,0 +1,88 @@
+"""Fully connected layer.
+
+Like convolution, the backward pass needs the stashed input ``X`` (for the
+weight gradient), so a preceding ReLU's output falls in the paper's
+"ReLU-Conv" class and is eligible for SSDC/DPR, not Binarize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, OpContext, Shape
+
+
+class Dense(Layer):
+    """Affine layer over flattened inputs, ``y = x @ W + b``.
+
+    Accepts any input shape; all non-batch dimensions are flattened.
+    """
+
+    kind = "dense"
+    backward_needs_input = True
+
+    def __init__(self, out_features: int, bias: bool = True):
+        if out_features <= 0:
+            raise ValueError(f"out_features must be positive, got {out_features}")
+        self.out_features = out_features
+        self.bias = bias
+
+    @staticmethod
+    def _in_features(shape: Shape) -> int:
+        return int(np.prod(shape[1:]))
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return (shape[0], self.out_features)
+
+    def param_shapes(self, input_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        (shape,) = input_shapes
+        shapes = {"w": (self._in_features(shape), self.out_features)}
+        if self.bias:
+            shapes["b"] = (self.out_features,)
+        return shapes
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        n = output_shape[0]
+        return 2 * n * self._in_features(input_shapes[0]) * self.out_features
+
+    def init_params(self, input_shapes, rng):
+        fan_in = self._in_features(input_shapes[0])
+        std = np.sqrt(2.0 / fan_in)
+        params = {
+            "w": rng.normal(0.0, std, (fan_in, self.out_features)).astype(np.float32)
+        }
+        if self.bias:
+            params["b"] = np.zeros(self.out_features, dtype=np.float32)
+        return params
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        x2 = x.reshape(x.shape[0], -1)
+        y = x2 @ params["w"]
+        if self.bias:
+            y = y + params["b"]
+        return y.astype(np.float32, copy=False)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        x = ctx.stashed_input()
+        x2 = x.reshape(x.shape[0], -1)
+        dw = x2.T @ dy
+        dx = (dy @ params["w"].T).reshape(x.shape)
+        dparams = {"w": dw.astype(np.float32, copy=False)}
+        if self.bias:
+            dparams["b"] = dy.sum(axis=0).astype(np.float32, copy=False)
+        return [dx.astype(np.float32, copy=False)], dparams

@@ -1,0 +1,72 @@
+"""im2col / col2im helpers for convolution and pooling kernels.
+
+These implement the classic lowering of convolution to matrix multiply: the
+input is unfolded into a matrix of receptive-field columns, the convolution
+becomes a GEMM, and the transposed scatter (``col2im``) implements the
+backward pass.  This mirrors how cuDNN's GEMM-based algorithms work and
+keeps the NumPy kernels fast enough for the scaled training experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_hw(
+    h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Spatial output size of a conv/pool window sweep.
+
+    Raises:
+        ValueError: If the window does not fit the (padded) input.
+    """
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"window {kh}x{kw} stride {stride} pad {pad} does not fit input {h}x{w}"
+        )
+    return oh, ow
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW)."""
+    n, c, h, w = x.shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if pad > 0:
+        x = x[:, :, pad : pad + h, pad : pad + w]
+    return x

@@ -1,0 +1,84 @@
+"""Softmax cross-entropy loss head.
+
+The stashed probabilities are consumed at the very start of the backward
+pass, so their stash interval is short — the planner will classify them as
+stashed but they contribute negligibly, matching the paper's focus on deep
+convolutional stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import FP32
+from repro.layers.base import Layer, OpContext, Shape, StateSpec
+
+
+class SoftmaxCrossEntropy(Layer):
+    """Combined softmax + cross-entropy against integer class labels.
+
+    The executor supplies labels via :meth:`set_labels` before each forward
+    pass; ``forward`` returns the scalar mean loss as a ``(1,)`` array.
+    """
+
+    kind = "loss"
+
+    def __init__(self):
+        self._labels: Optional[np.ndarray] = None
+
+    def set_labels(self, labels: np.ndarray) -> None:
+        """Attach the ground-truth integer labels for the next minibatch."""
+        self._labels = np.asarray(labels)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(f"loss expects (N, classes) logits, got {shape}")
+        return (1,)
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return 5 * int(np.prod(input_shapes[0]))
+
+    def saved_state_specs(self, input_shapes, output_shape):
+        return [StateSpec("probs", tuple(input_shapes[0]), FP32)]
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (logits,) = xs
+        if self._labels is None:
+            raise RuntimeError("set_labels() must be called before forward()")
+        if self._labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: {self._labels.shape[0]} labels, "
+                f"{logits.shape[0]} logits"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        n = logits.shape[0]
+        nll = -np.log(np.maximum(probs[np.arange(n), self._labels], 1e-12))
+        if ctx is not None:
+            ctx.save_state("probs", probs.astype(np.float32))
+            ctx.save_state("labels", self._labels)
+        return np.array([nll.mean()], dtype=np.float32)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        probs = ctx.get_state("probs")
+        labels = ctx.get_state("labels")
+        n = probs.shape[0]
+        dx = probs.copy()
+        dx[np.arange(n), labels] -= 1.0
+        dx *= dy[0] / n
+        return [dx.astype(np.float32, copy=False)], {}

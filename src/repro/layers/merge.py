@@ -1,0 +1,87 @@
+"""Multi-input merge layers used by Inception (Concat) and ResNet (Add)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, OpContext, Shape
+
+
+class Concat(Layer):
+    """Concatenate along the channel axis (NCHW axis 1)."""
+
+    kind = "concat"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ValueError("Concat needs at least two inputs")
+        first = input_shapes[0]
+        for s in input_shapes[1:]:
+            if s[0] != first[0] or s[2:] != first[2:]:
+                raise ValueError(f"incompatible concat shapes: {input_shapes}")
+        channels = sum(s[1] for s in input_shapes)
+        return (first[0], channels) + tuple(first[2:])
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        if ctx is not None:
+            ctx.save_state("splits", np.array([x.shape[1] for x in xs]))
+        return np.concatenate(list(xs), axis=1)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        splits = [int(v) for v in ctx.get_state("splits")]
+        edges = np.cumsum(splits)[:-1]
+        return [np.ascontiguousarray(g) for g in np.split(dy, edges, axis=1)], {}
+
+
+class Add(Layer):
+    """Elementwise sum of equal-shaped inputs (residual connections)."""
+
+    kind = "add"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ValueError("Add needs at least two inputs")
+        first = input_shapes[0]
+        for s in input_shapes[1:]:
+            if tuple(s) != tuple(first):
+                raise ValueError(f"incompatible add shapes: {input_shapes}")
+        return tuple(first)
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return int(np.prod(output_shape)) * (len(input_shapes) - 1)
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        if ctx is not None:
+            ctx.save_state("n_inputs", np.array([len(xs)]))
+        out = xs[0].copy()
+        for x in xs[1:]:
+            out += x
+        return out
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        n = int(ctx.get_state("n_inputs")[0])
+        return [dy] + [dy.copy() for _ in range(n - 1)], {}

@@ -1,0 +1,186 @@
+"""Normalisation layers: spatial batch normalisation and AlexNet-style LRN.
+
+Batch norm's backward pass needs its stashed input plus the small batch
+statistics; the paper notes it is a good candidate for the orthogonal
+*recompute* technique, but under Gist its stashed input is simply a
+DPR-eligible "Other" feature map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import FP32
+from repro.layers.base import Layer, OpContext, Shape, StateSpec
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalisation over NCHW tensors."""
+
+    kind = "batchnorm"
+    backward_needs_input = True
+
+    def __init__(self, momentum: float = 0.9, eps: float = 1e-5):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.momentum = momentum
+        self.eps = eps
+        # Running statistics are inference-time state, not learnable params;
+        # kept on the layer, keyed per graph node by the executor.
+        self._running: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return shape
+
+    def param_shapes(self, input_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        c = input_shapes[0][1]
+        return {"gamma": (c,), "beta": (c,)}
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return 8 * int(np.prod(output_shape))
+
+    def saved_state_specs(self, input_shapes, output_shape):
+        c = input_shapes[0][1]
+        return [StateSpec("mean", (c,), FP32), StateSpec("invstd", (c,), FP32)]
+
+    def init_params(self, input_shapes, rng):
+        c = input_shapes[0][1]
+        return {
+            "gamma": np.ones(c, dtype=np.float32),
+            "beta": np.zeros(c, dtype=np.float32),
+        }
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        if train:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+        else:
+            mean, var = self._running.get(
+                id(params.get("gamma")),
+                (np.zeros(x.shape[1], np.float32), np.ones(x.shape[1], np.float32)),
+            )
+        invstd = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * invstd[None, :, None, None]
+        y = params["gamma"][None, :, None, None] * xhat
+        y = y + params["beta"][None, :, None, None]
+        if ctx is not None and train:
+            ctx.save_state("mean", mean.astype(np.float32))
+            ctx.save_state("invstd", invstd.astype(np.float32))
+        if train:
+            key = id(params.get("gamma"))
+            rm, rv = self._running.get(
+                key, (np.zeros_like(mean), np.ones_like(var))
+            )
+            m = self.momentum
+            self._running[key] = (m * rm + (1 - m) * mean, m * rv + (1 - m) * var)
+        return y.astype(np.float32, copy=False)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        x = ctx.stashed_input()
+        mean = ctx.get_state("mean")
+        invstd = ctx.get_state("invstd")
+        n, c, h, w = x.shape
+        m = n * h * w
+        xhat = (x - mean[None, :, None, None]) * invstd[None, :, None, None]
+        dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+        dbeta = dy.sum(axis=(0, 2, 3))
+        g = params["gamma"][None, :, None, None]
+        dxhat = dy * g
+        dx = (
+            dxhat
+            - dxhat.mean(axis=(0, 2, 3), keepdims=True)
+            - xhat * (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True) / m
+        ) * invstd[None, :, None, None]
+        return [dx.astype(np.float32, copy=False)], {
+            "gamma": dgamma.astype(np.float32),
+            "beta": dbeta.astype(np.float32),
+        }
+
+
+class LocalResponseNorm(Layer):
+    """Across-channel local response normalisation (AlexNet, Overfeat, NiN).
+
+    ``y_i = x_i / (k + (alpha / n) * sum_{j in window(i)} x_j^2) ** beta``
+
+    The backward pass reads both the stashed input and output, so LRN
+    outputs fall in the "Other" stashed-feature-map class (DPR-eligible).
+    """
+
+    kind = "lrn"
+    backward_needs_input = True
+    backward_needs_output = True
+
+    def __init__(self, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 2.0):
+        if size <= 0 or size % 2 == 0:
+            raise ValueError(f"LRN size must be a positive odd integer, got {size}")
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return shape
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return int(np.prod(output_shape)) * (self.size + 4)
+
+    def _scale(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        sq = x * x
+        half = self.size // 2
+        # Sliding-window channel sum via cumulative sums.
+        padded = np.zeros((n, c + 2 * half, h, w), dtype=x.dtype)
+        padded[:, half : half + c] = sq
+        csum = np.cumsum(padded, axis=1)
+        window = np.empty_like(sq)
+        window[:, 0] = csum[:, self.size - 1]
+        window[:, 1:] = csum[:, self.size :] - csum[:, : c - 1]
+        return self.k + (self.alpha / self.size) * window
+
+    def forward(self, xs, params, ctx, train=True):
+        (x,) = xs
+        scale = self._scale(x)
+        y = x * scale ** (-self.beta)
+        if ctx is not None:
+            ctx.save_state("scale", scale.astype(np.float32))
+        return y.astype(np.float32, copy=False)
+
+    def saved_state_specs(self, input_shapes, output_shape):
+        return [StateSpec("scale", tuple(output_shape), FP32)]
+
+    def backward(self, dy, params, ctx):
+        x = ctx.stashed_input()
+        y = ctx.stashed_output()
+        scale = ctx.get_state("scale")
+        n, c, h, w = x.shape
+        half = self.size // 2
+        # dL/dx_i = dy_i * scale_i^-beta
+        #   - (2*alpha*beta/size) * x_i * sum_{j: i in window(j)} dy_j * y_j / scale_j
+        ratio = dy * y / scale
+        padded = np.zeros((n, c + 2 * half, h, w), dtype=x.dtype)
+        padded[:, half : half + c] = ratio
+        csum = np.cumsum(padded, axis=1)
+        window = np.empty_like(ratio)
+        window[:, 0] = csum[:, self.size - 1]
+        window[:, 1:] = csum[:, self.size :] - csum[:, : c - 1]
+        dx = dy * scale ** (-self.beta)
+        dx -= (2.0 * self.alpha * self.beta / self.size) * x * window
+        return [dx.astype(np.float32, copy=False)], {}

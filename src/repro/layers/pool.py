@@ -1,0 +1,200 @@
+"""Pooling layers.
+
+Max-pool is central to the Binarize encoding: the baseline (CNTK) stashes
+both its input ``X`` and output ``Y`` and re-derives the winning positions
+in the backward pass.  Gist instead records a *Y-to-X argmax map* in the
+forward pass — one window-local index per output element, 4 bits each for
+windows up to 3x3 — after which the backward pass touches neither ``X`` nor
+``Y`` (paper Section IV-A).  The runtime kernels here always compute that
+map (it is also the fastest way to write the backward scatter in NumPy);
+whether the *baseline memory model* charges for stashed X/Y or for the map
+is decided by the memory planner, not by this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import NIBBLE4, UINT8
+from repro.layers.base import Layer, OpContext, Shape, StateSpec
+from repro.layers.im2col import conv_output_hw, im2col
+
+
+class _Pool2D(Layer):
+    """Shared shape logic for spatial pooling ops."""
+
+    def __init__(self, kernel, stride: int = None, pad: int = 0):
+        self.kh, self.kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        self.stride = stride if stride is not None else self.kh
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        if pad < 0:
+            raise ValueError(f"pad must be non-negative, got {pad}")
+        self.pad = pad
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        n, c, h, w = shape
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        return (n, c, oh, ow)
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return int(np.prod(output_shape)) * self.kh * self.kw
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling with an explicit Y-to-X argmax map.
+
+    The argmax map stores, per output element, which of the ``kh*kw`` window
+    positions won — exactly the data structure Gist's Binarize optimisation
+    adds for pool layers.
+    """
+
+    kind = "maxpool"
+    # What the *baseline* framework stashes (paper: CNTK stores X and Y and
+    # re-finds max locations in the backward pass).
+    backward_needs_input = True
+    backward_needs_output = True
+    #: Marks this op as rewritable by Gist to use only the argmax map.
+    supports_argmax_map = True
+    #: The runtime kernels below already use the argmax map, so the
+    #: executor never stashes X/Y (the *memory model* still charges the
+    #: baseline for them via backward_needs_input/output above).
+    runtime_backward_needs_input = False
+    runtime_backward_needs_output = False
+
+    def __init__(self, kernel, stride: int = None, pad: int = 0):
+        super().__init__(kernel, stride, pad)
+        if self.kh * self.kw > 256:
+            raise ValueError(
+                f"pool window {self.kh}x{self.kw} exceeds 8-bit argmax range"
+            )
+
+    def argmax_map_spec(self, output_shape: Shape) -> StateSpec:
+        """The Y-to-X map's spec (one entry per output element).
+
+        4 bits per entry for windows up to 16 positions (the paper's suite
+        tops out at 3x3 = 9); 8 bits for larger windows.
+        """
+        dtype = NIBBLE4 if self.kh * self.kw <= 16 else UINT8
+        return StateSpec("argmax", output_shape, dtype)
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        n, c, h, w = x.shape
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        if self.pad > 0:
+            # Pad with -inf so padding never wins the max.
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                mode="constant",
+                constant_values=-np.inf,
+            )
+        cols = im2col(x, self.kh, self.kw, self.stride, 0)
+        cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
+        argmax = cols.argmax(axis=2).astype(np.uint8)
+        y = np.take_along_axis(cols, argmax[:, :, None, :].astype(np.intp), axis=2)
+        y = y[:, :, 0, :].reshape(n, c, oh, ow)
+        if ctx is not None:
+            ctx.save_state("argmax", argmax)
+            ctx.save_state("in_shape", np.array(xs[0].shape))
+        return y.astype(np.float32, copy=False)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        argmax = ctx.get_state("argmax")
+        n, c, h, w = (int(v) for v in ctx.get_state("in_shape"))
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        hp, wp = h + 2 * self.pad, w + 2 * self.pad
+        dx = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+        # Decompose the window-local winner index into (di, dj) offsets and
+        # scatter dY into the padded input at the winning locations.
+        oy, ox = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+        base_i = (oy * self.stride).ravel()
+        base_j = (ox * self.stride).ravel()
+        amax = argmax.reshape(n, c, oh * ow)
+        di = amax // self.kw
+        dj = amax % self.kw
+        rows = base_i[None, None, :] + di
+        colsj = base_j[None, None, :] + dj
+        nn = np.arange(n)[:, None, None]
+        cc = np.arange(c)[None, :, None]
+        np.add.at(dx, (nn, cc, rows, colsj), dy.reshape(n, c, oh * ow))
+        if self.pad > 0:
+            dx = dx[:, :, self.pad : self.pad + h, self.pad : self.pad + w]
+        return [dx], {}
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling.  Backward needs neither X nor Y — only shapes."""
+
+    kind = "avgpool"
+    backward_needs_input = False
+    backward_needs_output = False
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        n, c, h, w = x.shape
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
+        y = cols.mean(axis=2).reshape(n, c, oh, ow)
+        if ctx is not None:
+            ctx.save_state("in_shape", np.array(x.shape))
+        return y.astype(np.float32, copy=False)
+
+    def backward(self, dy, params, ctx):
+        from repro.layers.im2col import col2im
+
+        n, c, h, w = (int(v) for v in ctx.get_state("in_shape"))
+        oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        scale = 1.0 / (self.kh * self.kw)
+        dcols = np.broadcast_to(
+            (dy * scale).reshape(n, c, 1, oh * ow), (n, c, self.kh * self.kw, oh * ow)
+        ).reshape(n, c * self.kh * self.kw, oh * ow)
+        dx = col2im(np.ascontiguousarray(dcols), (n, c, h, w), self.kh, self.kw, self.stride, self.pad)
+        return [dx], {}
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over all spatial positions, producing (N, C, 1, 1)."""
+
+    kind = "gavgpool"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        n, c, _, _ = shape
+        return (n, c, 1, 1)
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        return int(np.prod(input_shapes[0]))
+
+    def forward(self, xs, params, ctx, train=True):
+        (x,) = xs
+        if ctx is not None:
+            ctx.save_state("in_shape", np.array(x.shape))
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def backward(self, dy, params, ctx):
+        n, c, h, w = (int(v) for v in ctx.get_state("in_shape"))
+        dx = np.broadcast_to(dy / (h * w), (n, c, h, w)).astype(dy.dtype)
+        return [np.ascontiguousarray(dx)], {}

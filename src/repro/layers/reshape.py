@@ -1,0 +1,41 @@
+"""Shape-manipulation layers (no arithmetic, no stash)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, OpContext, Shape
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions into one."""
+
+    kind = "flatten"
+    supports_inplace = True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return (shape[0], int(np.prod(shape[1:])))
+
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        (x,) = xs
+        if ctx is not None:
+            ctx.save_state("in_shape", np.array(x.shape))
+        return x.reshape(x.shape[0], -1)
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        in_shape = tuple(int(v) for v in ctx.get_state("in_shape"))
+        return [dy.reshape(in_shape)], {}

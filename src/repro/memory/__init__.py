@@ -1,0 +1,72 @@
+"""Memory subsystem: liveness-driven planning, CNTK-style static sharing
+allocation, dynamic-allocation simulation and footprint reporting."""
+
+from repro.memory.allocator import (
+    AllocationGroup,
+    AllocationResult,
+    POLICY_FIRST_FIT,
+    POLICY_GREEDY_SIZE,
+    POLICY_NO_SHARING,
+    StaticAllocator,
+    static_footprint,
+)
+from repro.memory.dynamic import DynamicResult, dynamic_footprint, simulate_dynamic
+from repro.memory.footprint import (
+    FootprintReport,
+    GiB,
+    MiB,
+    measure_dynamic,
+    measure_static,
+    memory_footprint_ratio,
+)
+from repro.memory.recompute import (
+    RecomputePlan,
+    build_recompute_plan,
+    trunk_nodes,
+)
+from repro.memory.planner import (
+    ALL_CLASSES,
+    CLASS_ENCODED,
+    CLASS_GRADIENT,
+    CLASS_IMMEDIATE,
+    CLASS_SAVED_STATE,
+    CLASS_STASHED,
+    CLASS_WEIGHT,
+    CLASS_WEIGHT_GRAD,
+    CLASS_WORKSPACE,
+    MemoryPlan,
+    build_memory_plan,
+)
+
+__all__ = [
+    "ALL_CLASSES",
+    "AllocationGroup",
+    "AllocationResult",
+    "CLASS_ENCODED",
+    "CLASS_GRADIENT",
+    "CLASS_IMMEDIATE",
+    "CLASS_SAVED_STATE",
+    "CLASS_STASHED",
+    "CLASS_WEIGHT",
+    "CLASS_WEIGHT_GRAD",
+    "CLASS_WORKSPACE",
+    "DynamicResult",
+    "FootprintReport",
+    "GiB",
+    "MiB",
+    "MemoryPlan",
+    "POLICY_FIRST_FIT",
+    "POLICY_GREEDY_SIZE",
+    "RecomputePlan",
+    "POLICY_NO_SHARING",
+    "StaticAllocator",
+    "build_memory_plan",
+    "build_recompute_plan",
+    "trunk_nodes",
+    "dynamic_footprint",
+    "measure_dynamic",
+    "measure_static",
+    "memory_footprint_ratio",
+    "simulate_dynamic",
+    "static_footprint",
+]

@@ -1,0 +1,27 @@
+"""Model zoo: the paper's six-network evaluation suite plus scaled variants."""
+
+from repro.models.alexnet import alexnet
+from repro.models.inception import inception
+from repro.models.nin import nin
+from repro.models.overfeat import overfeat
+from repro.models.registry import PAPER_SUITE, available_models, build_model
+from repro.models.resnet import resnet, resnet_cifar
+from repro.models.scaled import scaled_alexnet, scaled_vgg, tiny_cnn
+from repro.models.vgg import vgg16, vgg19
+
+__all__ = [
+    "PAPER_SUITE",
+    "alexnet",
+    "available_models",
+    "build_model",
+    "inception",
+    "nin",
+    "overfeat",
+    "resnet",
+    "resnet_cifar",
+    "scaled_alexnet",
+    "scaled_vgg",
+    "tiny_cnn",
+    "vgg16",
+    "vgg19",
+]

@@ -1,0 +1,53 @@
+"""AlexNet (Krizhevsky et al., 2012) — single-tower variant with LRN.
+
+Layer order follows the Caffe/CNTK deployment convention: conv → ReLU →
+max-pool → LRN for the first two stages (the order CNTK's ImageNet
+example uses, and the one the paper's footprint numbers reflect).  This
+gives Gist the full mix of stashed-feature-map classes: ReLU-Pool
+(relu1/relu2/relu5), ReLU-Conv (conv3/conv4 and FC ReLUs) and Others
+(LRN outputs).
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def alexnet(batch_size: int = 64, num_classes: int = 1000,
+            image_size: int = 227) -> Graph:
+    """Build AlexNet for ``image_size`` x ``image_size`` RGB inputs."""
+    b = GraphBuilder("alexnet", (batch_size, 3, image_size, image_size))
+    x = b.add(Conv2D(96, 11, stride=4), b.input, name="conv1")
+    x = b.add(ReLU(), x, name="relu1")
+    x = b.add(MaxPool2D(3, 2), x, name="pool1")
+    x = b.add(LocalResponseNorm(5), x, name="norm1")
+    x = b.add(Conv2D(256, 5, pad=2), x, name="conv2")
+    x = b.add(ReLU(), x, name="relu2")
+    x = b.add(MaxPool2D(3, 2), x, name="pool2")
+    x = b.add(LocalResponseNorm(5), x, name="norm2")
+    x = b.add(Conv2D(384, 3, pad=1), x, name="conv3")
+    x = b.add(ReLU(), x, name="relu3")
+    x = b.add(Conv2D(384, 3, pad=1), x, name="conv4")
+    x = b.add(ReLU(), x, name="relu4")
+    x = b.add(Conv2D(256, 3, pad=1), x, name="conv5")
+    x = b.add(ReLU(), x, name="relu5")
+    x = b.add(MaxPool2D(3, 2), x, name="pool5")
+    x = b.add(Dense(4096), x, name="fc6")
+    x = b.add(ReLU(), x, name="relu6")
+    x = b.add(Dropout(0.5), x, name="drop6")
+    x = b.add(Dense(4096), x, name="fc7")
+    x = b.add(ReLU(), x, name="relu7")
+    x = b.add(Dropout(0.5), x, name="drop7")
+    x = b.add(Dense(num_classes), x, name="fc8")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

@@ -1,0 +1,50 @@
+"""Network in Network (Lin et al., 2014) — ImageNet configuration.
+
+NiN replaces dense heads with 1x1 "mlpconv" stacks and global average
+pooling, so nearly all of its stashed feature maps are ReLU outputs feeding
+convolutions — prime SSDC territory.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Conv2D,
+    Dropout,
+    GlobalAvgPool2D,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def nin(batch_size: int = 64, num_classes: int = 1000,
+        image_size: int = 224) -> Graph:
+    """Build NiN for ``image_size`` x ``image_size`` RGB inputs."""
+    b = GraphBuilder("nin", (batch_size, 3, image_size, image_size))
+    x = b.input
+
+    def mlpconv(x, idx, channels, kernel, stride=1, pad=0):
+        c1, c2, c3 = channels
+        x = b.add(Conv2D(c1, kernel, stride=stride, pad=pad), x, name=f"conv{idx}")
+        x = b.add(ReLU(), x, name=f"relu{idx}")
+        x = b.add(Conv2D(c2, 1), x, name=f"cccp{idx}a")
+        x = b.add(ReLU(), x, name=f"relu{idx}a")
+        x = b.add(Conv2D(c3, 1), x, name=f"cccp{idx}b")
+        x = b.add(ReLU(), x, name=f"relu{idx}b")
+        return x
+
+    x = mlpconv(x, 1, (96, 96, 96), 11, stride=4)
+    x = b.add(MaxPool2D(3, 2), x, name="pool1")
+    x = mlpconv(x, 2, (256, 256, 256), 5, pad=2)
+    x = b.add(MaxPool2D(3, 2), x, name="pool2")
+    x = mlpconv(x, 3, (384, 384, 384), 3, pad=1)
+    x = b.add(MaxPool2D(3, 2), x, name="pool3")
+    x = b.add(Dropout(0.5), x, name="drop")
+    x = mlpconv(x, 4, (1024, 1024, num_classes), 3, pad=1)
+    x = b.add(GlobalAvgPool2D(), x, name="gap")
+    x = b.add(Flatten(), x, name="flatten")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

@@ -1,0 +1,42 @@
+"""OverFeat (Sermanet et al., 2014) — "fast" model."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def overfeat(batch_size: int = 64, num_classes: int = 1000,
+             image_size: int = 231) -> Graph:
+    """Build the OverFeat fast model for ``image_size`` RGB inputs."""
+    b = GraphBuilder("overfeat", (batch_size, 3, image_size, image_size))
+    x = b.add(Conv2D(96, 11, stride=4), b.input, name="conv1")
+    x = b.add(ReLU(), x, name="relu1")
+    x = b.add(MaxPool2D(2, 2), x, name="pool1")
+    x = b.add(Conv2D(256, 5), x, name="conv2")
+    x = b.add(ReLU(), x, name="relu2")
+    x = b.add(MaxPool2D(2, 2), x, name="pool2")
+    x = b.add(Conv2D(512, 3, pad=1), x, name="conv3")
+    x = b.add(ReLU(), x, name="relu3")
+    x = b.add(Conv2D(1024, 3, pad=1), x, name="conv4")
+    x = b.add(ReLU(), x, name="relu4")
+    x = b.add(Conv2D(1024, 3, pad=1), x, name="conv5")
+    x = b.add(ReLU(), x, name="relu5")
+    x = b.add(MaxPool2D(2, 2), x, name="pool5")
+    x = b.add(Dense(3072), x, name="fc6")
+    x = b.add(ReLU(), x, name="relu6")
+    x = b.add(Dropout(0.5), x, name="drop6")
+    x = b.add(Dense(4096), x, name="fc7")
+    x = b.add(ReLU(), x, name="relu7")
+    x = b.add(Dropout(0.5), x, name="drop7")
+    x = b.add(Dense(num_classes), x, name="fc8")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

@@ -1,0 +1,58 @@
+"""Model registry: name → graph factory.
+
+``PAPER_SUITE`` is the six-network suite evaluated throughout the paper's
+Section V; all benches iterate it in the paper's figure order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph import Graph
+from repro.models.alexnet import alexnet
+from repro.models.inception import inception
+from repro.models.nin import nin
+from repro.models.overfeat import overfeat
+from repro.models.resnet import resnet, resnet_cifar
+from repro.models.scaled import scaled_alexnet, scaled_vgg, tiny_cnn
+from repro.models.vgg import vgg16, vgg19
+
+ModelFactory = Callable[..., Graph]
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    "alexnet": alexnet,
+    "nin": nin,
+    "overfeat": overfeat,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "inception": inception,
+    "resnet50": lambda batch_size=64, **kw: resnet(50, batch_size=batch_size, **kw),
+    "resnet101": lambda batch_size=64, **kw: resnet(101, batch_size=batch_size, **kw),
+    "resnet152": lambda batch_size=64, **kw: resnet(152, batch_size=batch_size, **kw),
+    "tiny_cnn": tiny_cnn,
+    "scaled_vgg": scaled_vgg,
+    "scaled_alexnet": scaled_alexnet,
+}
+
+#: The paper's evaluation suite (Section V-A), in figure order.
+PAPER_SUITE: List[str] = ["alexnet", "nin", "overfeat", "vgg16", "inception",
+                          "resnet50"]
+
+
+def build_model(name: str, batch_size: int = 64, **kwargs) -> Graph:
+    """Instantiate a registered model by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(batch_size=batch_size, **kwargs)
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+__all__ = ["PAPER_SUITE", "available_models", "build_model", "resnet_cifar"]

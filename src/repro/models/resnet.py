@@ -1,0 +1,127 @@
+"""ResNet (He et al., 2016): ImageNet bottleneck nets and composable-depth
+CIFAR-style nets.
+
+The paper's Figure 16 trend study varies CIFAR-style ResNet depth to 509,
+851 and 1202 layers; ``resnet_cifar`` accepts any depth and distributes
+``(depth - 2) // 6`` basic blocks per stage (remainder to the earliest
+stages), matching the 6n+2 family for exact depths.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.graph.builder import NodeRef
+from repro.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+# Bottleneck block counts per stage for the ImageNet variants.
+_IMAGENET_BLOCKS = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3), 152: (3, 8, 36, 3)}
+
+
+def resnet(depth: int = 50, batch_size: int = 64, num_classes: int = 1000,
+           image_size: int = 224) -> Graph:
+    """Build an ImageNet bottleneck ResNet (depth in {50, 101, 152})."""
+    if depth not in _IMAGENET_BLOCKS:
+        raise ValueError(
+            f"ImageNet resnet depth must be one of {sorted(_IMAGENET_BLOCKS)}, "
+            f"got {depth}; use resnet_cifar() for arbitrary depths"
+        )
+    blocks = _IMAGENET_BLOCKS[depth]
+    b = GraphBuilder(f"resnet{depth}", (batch_size, 3, image_size, image_size))
+
+    def conv_bn(x, channels, kernel, name, stride=1, pad=0, relu=True):
+        x = b.add(Conv2D(channels, kernel, stride=stride, pad=pad, bias=False),
+                  x, name=name)
+        x = b.add(BatchNorm2D(), x, name=f"{name}_bn")
+        if relu:
+            x = b.add(ReLU(), x, name=f"{name}_relu")
+        return x
+
+    def bottleneck(x: NodeRef, name: str, mid: int, out: int, stride: int) -> NodeRef:
+        shortcut = x
+        in_channels = b.shape_of(x)[1]
+        if stride != 1 or in_channels != out:
+            shortcut = conv_bn(x, out, 1, f"{name}_proj", stride=stride, relu=False)
+        y = conv_bn(x, mid, 1, f"{name}_a", stride=stride)
+        y = conv_bn(y, mid, 3, f"{name}_b", pad=1)
+        y = conv_bn(y, out, 1, f"{name}_c", relu=False)
+        s = b.add(Add(), [y, shortcut], name=f"{name}_add")
+        return b.add(ReLU(), s, name=f"{name}_relu")
+
+    x = conv_bn(b.input, 64, 7, "conv1", stride=2, pad=3)
+    x = b.add(MaxPool2D(3, 2, pad=1), x, name="pool1")
+    widths = (64, 128, 256, 512)
+    for stage, (n_blocks, width) in enumerate(zip(blocks, widths), start=2):
+        for i in range(n_blocks):
+            stride = 2 if (stage > 2 and i == 0) else 1
+            x = bottleneck(x, f"res{stage}{chr(ord('a') + i)}", width, width * 4,
+                           stride)
+    x = b.add(GlobalAvgPool2D(), x, name="pool5")
+    x = b.add(Flatten(), x, name="flatten")
+    x = b.add(Dense(num_classes), x, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()
+
+
+def resnet_cifar(depth: int, batch_size: int = 128, num_classes: int = 10,
+                 image_size: int = 32) -> Graph:
+    """Build a CIFAR-style basic-block ResNet of (approximately) ``depth``.
+
+    Exact for the 6n+2 family (e.g. 110, 1202); other depths round the
+    per-stage block count down and distribute the remainder to the earliest
+    stages, reproducing the paper's 509/851-layer configurations as closely
+    as the block structure permits.
+    """
+    if depth < 8:
+        raise ValueError(f"resnet_cifar depth must be >= 8, got {depth}")
+    # depth = 6n + 2: n basic blocks (2 convs each) in each of 3 stages,
+    # plus the stem conv and the final classifier.
+    per_stage = [(depth - 2) // 6] * 3
+    leftover_blocks = ((depth - 2) - 6 * per_stage[0]) // 2
+    for i in range(leftover_blocks):
+        per_stage[i % 3] += 1
+    b = GraphBuilder(f"resnet{depth}_cifar",
+                     (batch_size, 3, image_size, image_size))
+
+    def conv_bn(x, channels, name, stride=1, relu=True):
+        x = b.add(Conv2D(channels, 3, stride=stride, pad=1, bias=False), x,
+                  name=name)
+        x = b.add(BatchNorm2D(), x, name=f"{name}_bn")
+        if relu:
+            x = b.add(ReLU(), x, name=f"{name}_relu")
+        return x
+
+    def basic_block(x: NodeRef, name: str, width: int, stride: int) -> NodeRef:
+        shortcut = x
+        in_channels = b.shape_of(x)[1]
+        if stride != 1 or in_channels != width:
+            shortcut = b.add(Conv2D(width, 1, stride=stride, bias=False), x,
+                             name=f"{name}_proj")
+            shortcut = b.add(BatchNorm2D(), shortcut, name=f"{name}_proj_bn")
+        y = conv_bn(x, width, f"{name}_a", stride=stride)
+        y = conv_bn(y, width, f"{name}_b", relu=False)
+        s = b.add(Add(), [y, shortcut], name=f"{name}_add")
+        return b.add(ReLU(), s, name=f"{name}_relu")
+
+    x = conv_bn(b.input, 16, "conv1")
+    for stage, width in enumerate((16, 32, 64), start=1):
+        for i in range(per_stage[stage - 1]):
+            stride = 2 if (stage > 1 and i == 0) else 1
+            x = basic_block(x, f"s{stage}b{i}", width, stride)
+    x = b.add(GlobalAvgPool2D(), x, name="gap")
+    x = b.add(Flatten(), x, name="flatten")
+    x = b.add(Dense(num_classes), x, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

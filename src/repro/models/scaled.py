@@ -1,0 +1,80 @@
+"""Scaled-down models for the runtime training experiments.
+
+The paper's accuracy and sparsity experiments (Figures 12, 14) need real
+gradient descent; at ImageNet scale that is infeasible on CPU, so these
+CIFAR-size variants preserve the *structural* properties that matter to
+Gist — ReLU-Pool pairs (Binarize), ReLU-Conv pairs (SSDC), dense heads
+(DPR "Others") — while keeping NumPy training fast.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def tiny_cnn(batch_size: int = 16, num_classes: int = 4,
+             image_size: int = 8, channels: int = 8) -> Graph:
+    """A minimal conv-relu-pool-dense net for fast unit/integration tests."""
+    b = GraphBuilder("tiny_cnn", (batch_size, 3, image_size, image_size))
+    x = b.add(Conv2D(channels, 3, pad=1), b.input, name="conv1")
+    x = b.add(ReLU(), x, name="relu1")
+    x = b.add(MaxPool2D(2, 2), x, name="pool1")
+    x = b.add(Conv2D(channels * 2, 3, pad=1), x, name="conv2")
+    x = b.add(ReLU(), x, name="relu2")
+    x = b.add(Dense(num_classes), x, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()
+
+
+def scaled_vgg(batch_size: int = 32, num_classes: int = 10,
+               image_size: int = 32, width: int = 16) -> Graph:
+    """A VGG16-shaped network scaled to CIFAR size.
+
+    Three conv stages of two 3x3 convs each (so every stage contributes one
+    ReLU-Conv and one ReLU-Pool stashed map), then a small dense head —
+    the same stash-class mix as full VGG16.
+    """
+    b = GraphBuilder("scaled_vgg", (batch_size, 3, image_size, image_size))
+    x = b.input
+    for stage, channels in enumerate((width, width * 2, width * 4), start=1):
+        x = b.add(Conv2D(channels, 3, pad=1), x, name=f"conv{stage}_1")
+        x = b.add(ReLU(), x, name=f"relu{stage}_1")
+        x = b.add(Conv2D(channels, 3, pad=1), x, name=f"conv{stage}_2")
+        x = b.add(ReLU(), x, name=f"relu{stage}_2")
+        x = b.add(MaxPool2D(2, 2), x, name=f"pool{stage}")
+    x = b.add(Dense(width * 8), x, name="fc1")
+    x = b.add(ReLU(), x, name="relu_fc1")
+    x = b.add(Dropout(0.5), x, name="drop1")
+    x = b.add(Dense(num_classes), x, name="fc2")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()
+
+
+def scaled_alexnet(batch_size: int = 32, num_classes: int = 10,
+                   image_size: int = 32) -> Graph:
+    """AlexNet-shaped network at CIFAR size (conv-relu-pool x2 + convs)."""
+    b = GraphBuilder("scaled_alexnet", (batch_size, 3, image_size, image_size))
+    x = b.add(Conv2D(24, 5, pad=2), b.input, name="conv1")
+    x = b.add(ReLU(), x, name="relu1")
+    x = b.add(MaxPool2D(3, 2), x, name="pool1")
+    x = b.add(Conv2D(48, 5, pad=2), x, name="conv2")
+    x = b.add(ReLU(), x, name="relu2")
+    x = b.add(MaxPool2D(3, 2), x, name="pool2")
+    x = b.add(Conv2D(64, 3, pad=1), x, name="conv3")
+    x = b.add(ReLU(), x, name="relu3")
+    x = b.add(Dense(128), x, name="fc6")
+    x = b.add(ReLU(), x, name="relu6")
+    x = b.add(Dense(num_classes), x, name="fc8")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

@@ -1,0 +1,55 @@
+"""VGG-16 (Simonyan & Zisserman, 2015), configuration D.
+
+VGG16 is the paper's flagship workload: 89% of its stashed feature maps
+are ReLU outputs (40% ReLU-Pool, 49% ReLU-Conv), and it is the network
+whose minimum DPR precision is highest (FP16).
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+# (stage index, number of convs, channels) per configuration.
+_VGG16_STAGES = [(1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512)]
+_VGG19_STAGES = [(1, 2, 64), (2, 2, 128), (3, 4, 256), (4, 4, 512), (5, 4, 512)]
+
+
+def _vgg(name: str, stages, batch_size: int, num_classes: int,
+         image_size: int) -> Graph:
+    b = GraphBuilder(name, (batch_size, 3, image_size, image_size))
+    x = b.input
+    for stage, n_convs, channels in stages:
+        for i in range(1, n_convs + 1):
+            x = b.add(Conv2D(channels, 3, pad=1), x, name=f"conv{stage}_{i}")
+            x = b.add(ReLU(), x, name=f"relu{stage}_{i}")
+        x = b.add(MaxPool2D(2, 2), x, name=f"pool{stage}")
+    x = b.add(Dense(4096), x, name="fc6")
+    x = b.add(ReLU(), x, name="relu6")
+    x = b.add(Dropout(0.5), x, name="drop6")
+    x = b.add(Dense(4096), x, name="fc7")
+    x = b.add(ReLU(), x, name="relu7")
+    x = b.add(Dropout(0.5), x, name="drop7")
+    x = b.add(Dense(num_classes), x, name="fc8")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()
+
+
+def vgg16(batch_size: int = 64, num_classes: int = 1000,
+          image_size: int = 224) -> Graph:
+    """Build VGG-16 (configuration D)."""
+    return _vgg("vgg16", _VGG16_STAGES, batch_size, num_classes, image_size)
+
+
+def vgg19(batch_size: int = 64, num_classes: int = 1000,
+          image_size: int = 224) -> Graph:
+    """Build VGG-19 (configuration E)."""
+    return _vgg("vgg19", _VGG19_STAGES, batch_size, num_classes, image_size)

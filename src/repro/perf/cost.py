@@ -1,0 +1,107 @@
+"""Per-op and per-step analytical timing.
+
+Each kernel is modelled as ``max(compute_time, memory_time) + launch``,
+the standard roofline form.  Backward kernels of parameterised layers
+(conv/dense) perform roughly twice the forward work (one GEMM each for
+the data gradient and the weight gradient); elementwise/pool layers are
+bandwidth-bound in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.graph.graph import Graph
+from repro.graph.node import OpNode
+from repro.perf.device import DeviceSpec, TITAN_X_MAXWELL
+
+#: Layer kinds whose backward pass costs ~2x their forward FLOPs.
+_PARAM_KINDS = {"conv", "dense"}
+
+
+@dataclass(frozen=True)
+class StepTime:
+    """Timing breakdown of one training step."""
+
+    forward_s: float
+    backward_s: float
+    per_node_forward: Dict[int, float]
+    per_node_backward: Dict[int, float]
+
+    @property
+    def total_s(self) -> float:
+        """Forward + backward wall-clock."""
+        return self.forward_s + self.backward_s
+
+
+class CostModel:
+    """Analytical GPU kernel timing for a training graph."""
+
+    def __init__(self, device: DeviceSpec = TITAN_X_MAXWELL):
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def _kernel_time(self, flops: float, nbytes: float, minibatch: int) -> float:
+        dev = self.device
+        compute = flops / (
+            dev.peak_flops * dev.compute_efficiency * dev.occupancy(minibatch)
+        )
+        memory = nbytes / dev.mem_bandwidth
+        return max(compute, memory) + dev.kernel_overhead
+
+    def _node_io_bytes(self, graph: Graph, node: OpNode) -> float:
+        input_elems = sum(
+            _prod(s) for s in node.input_shapes(graph)
+        )
+        output_elems = _prod(node.output_shape)
+        param_elems = sum(
+            _prod(s)
+            for s in node.layer.param_shapes(node.input_shapes(graph)).values()
+        )
+        return 4.0 * (input_elems + output_elems + param_elems)
+
+    def forward_time(self, graph: Graph, node: OpNode) -> float:
+        """Forward kernel time for one op, seconds."""
+        if node.kind == "input":
+            return 0.0
+        minibatch = node.output_shape[0] if node.output_shape else 1
+        flops = node.layer.flops(node.input_shapes(graph), node.output_shape)
+        return self._kernel_time(flops, self._node_io_bytes(graph, node),
+                                 minibatch)
+
+    def backward_time(self, graph: Graph, node: OpNode) -> float:
+        """Backward kernel time for one op, seconds."""
+        if node.kind == "input":
+            return 0.0
+        minibatch = node.output_shape[0] if node.output_shape else 1
+        flops = node.layer.flops(node.input_shapes(graph), node.output_shape)
+        factor = 2.0 if node.kind in _PARAM_KINDS else 1.0
+        return self._kernel_time(
+            factor * flops, 2.0 * self._node_io_bytes(graph, node), minibatch
+        )
+
+    # ------------------------------------------------------------------
+    def step_time(self, graph: Graph) -> StepTime:
+        """One full minibatch (forward + backward), seconds."""
+        per_f: Dict[int, float] = {}
+        per_b: Dict[int, float] = {}
+        for node in graph.nodes:
+            per_f[node.node_id] = self.forward_time(graph, node)
+            per_b[node.node_id] = self.backward_time(graph, node)
+        return StepTime(sum(per_f.values()), sum(per_b.values()), per_f, per_b)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Host link (PCIe) transfer time, seconds."""
+        return nbytes / self.device.pcie_bandwidth
+
+    def copy_time(self, nbytes: float) -> float:
+        """On-device bandwidth-bound pass over ``nbytes``, seconds."""
+        return nbytes / self.device.mem_bandwidth
+
+
+def _prod(shape) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n

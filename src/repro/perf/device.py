@@ -1,0 +1,59 @@
+"""GPU device models for the analytical performance substrate.
+
+Substitution record (DESIGN.md §2): the paper measures wall-clock time on
+an Nvidia Maxwell GTX Titan X; we model each kernel as the max of its
+compute-bound and bandwidth-bound times on that card's published
+specifications, with an occupancy factor that saturates with minibatch
+size.  All performance *shapes* in Figures 9, 11, 15 and 16 are functions
+of these first-order quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """First-order GPU model.
+
+    Attributes:
+        name: Card name.
+        peak_flops: FP32 peak, FLOP/s.
+        mem_bandwidth: DRAM bandwidth, bytes/s.
+        memory_bytes: DRAM capacity, bytes.
+        pcie_bandwidth: Effective host link bandwidth, bytes/s (practical
+            PCIe 3.0 x16 delivers ~10 GB/s of its 15.75 GB/s peak).
+        kernel_overhead: Fixed per-kernel launch latency, seconds.
+        compute_efficiency: Fraction of peak a well-tuned GEMM-like kernel
+            sustains at full occupancy.
+        batch_half_saturation: Minibatch size at which occupancy reaches
+            half of its asymptote (utilisation model for Figure 16).
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    memory_bytes: int
+    pcie_bandwidth: float
+    kernel_overhead: float = 5e-6
+    compute_efficiency: float = 0.55
+    batch_half_saturation: float = 6.0
+
+    def occupancy(self, minibatch: int) -> float:
+        """Saturating utilisation factor in (0, 1] for a minibatch size."""
+        if minibatch <= 0:
+            raise ValueError(f"minibatch must be positive, got {minibatch}")
+        b = float(minibatch)
+        # Normalised so occupancy(64) ~= 0.91 and occupancy -> 1.
+        return b / (b + self.batch_half_saturation)
+
+
+#: The paper's evaluation card: Maxwell GTX Titan X, 12 GB GDDR5, cuDNN v6.
+TITAN_X_MAXWELL = DeviceSpec(
+    name="GTX Titan X (Maxwell)",
+    peak_flops=6.14e12,
+    mem_bandwidth=336.5e9,
+    memory_bytes=12 * 1024**3,
+    pcie_bandwidth=10.0e9,
+)

@@ -1,0 +1,105 @@
+"""Encode/decode overhead model for Gist (Figures 9 and 11).
+
+Every Gist codec is a bandwidth-bound streaming kernel:
+
+* **Binarize** — the encode pass reads the FP32 map and writes 1 bit per
+  element; afterwards ReLU's backward kernel reads the 1-bit mask instead
+  of the FP32 map and the pool's backward reads the 4-bit argmax map
+  instead of its X and Y maps.  Net effect: a small *speedup* (the paper
+  observes the same, attributing it to higher effective bandwidth in the
+  memory-bound ReLU backward).
+* **SSDC** — dense↔CSR conversions (cuSPARSE-style) touch the dense map
+  plus the CSR arrays with imperfect streaming efficiency; modelled with a
+  conversion-inefficiency factor.
+* **DPR** — a pure pack/unpack pass; "being very parallel, has minimal
+  performance overhead" (~1% in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.sparsity import SparsityModel
+from repro.core.policy import GistConfig
+from repro.core.schedule_builder import (
+    ENC_BINARIZE,
+    ENC_DPR,
+    ENC_SSDC,
+    GistPlan,
+    build_gist_plan,
+)
+from repro.graph.graph import Graph
+from repro.perf.cost import CostModel
+
+#: Streaming inefficiency of dense<->CSR conversion kernels relative to a
+#: straight memory copy (scatter/gather plus index arithmetic).
+SSDC_CONVERSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Step-time impact of a Gist configuration on one network."""
+
+    model: str
+    baseline_s: float
+    gist_s: float
+    per_technique_s: Dict[str, float]
+
+    @property
+    def overhead_frac(self) -> float:
+        """Relative slowdown; negative values are speedups."""
+        return self.gist_s / self.baseline_s - 1.0
+
+
+def encoding_time_delta(
+    plan: GistPlan, cost: CostModel
+) -> Dict[str, float]:
+    """Per-technique wall-clock delta (seconds) for one training step."""
+    deltas = {ENC_BINARIZE: 0.0, ENC_SSDC: 0.0, ENC_DPR: 0.0}
+    graph = plan.graph
+    for decision in plan.decisions.values():
+        n_bytes = decision.fp32_bytes
+        if decision.encoding == ENC_BINARIZE:
+            # Encode: read FP32, write bits.  Backward: ReLU reads the mask
+            # (1/32 of the bytes) instead of the FP32 map.
+            encode = cost.copy_time(n_bytes + decision.encoded_bytes)
+            backward_saving = cost.copy_time(n_bytes - decision.encoded_bytes)
+            deltas[ENC_BINARIZE] += encode - backward_saving
+        elif decision.encoding == ENC_SSDC:
+            touched = n_bytes + decision.encoded_bytes
+            deltas[ENC_SSDC] += 2.0 * SSDC_CONVERSION_FACTOR * cost.copy_time(
+                touched
+            )
+        elif decision.encoding == ENC_DPR:
+            touched = n_bytes + decision.encoded_bytes
+            deltas[ENC_DPR] += 2.0 * cost.copy_time(touched)
+    # The pool argmax rewrite: backward reads the 4-bit map instead of the
+    # stashed X and Y maps.
+    for pool_id in plan.rewritten_pools:
+        node = graph.node(pool_id)
+        out_elems = 1
+        for d in node.output_shape:
+            out_elems *= d
+        in_elems = 1
+        for d in graph.node(node.inputs[0]).output_shape:
+            in_elems *= d
+        baseline_read = 4.0 * (in_elems + out_elems)
+        map_read = 0.5 * out_elems
+        deltas[ENC_BINARIZE] -= cost.copy_time(baseline_read - map_read)
+    return deltas
+
+
+def measure_overhead(
+    graph: Graph,
+    config: Optional[GistConfig] = None,
+    sparsity_model: Optional[SparsityModel] = None,
+    cost: Optional[CostModel] = None,
+) -> OverheadReport:
+    """Baseline vs Gist step time for one network."""
+    cost = cost or CostModel()
+    plan = build_gist_plan(graph, config, sparsity_model)
+    base = cost.step_time(graph).total_s
+    deltas = encoding_time_delta(plan, cost)
+    gist = base + sum(deltas.values())
+    return OverheadReport(graph.name, base, gist, deltas)

@@ -1,0 +1,13 @@
+"""Tensor metadata substrate: shape/category/dtype descriptors.
+
+The static analysis side of this library (memory planning, liveness, the
+Gist schedule builder) never materialises real arrays — it reasons about
+:class:`~repro.tensor.spec.TensorSpec` objects, which carry exactly the
+information the CNTK allocator would have used: a shape, a storage dtype and
+a data-structure category.
+"""
+
+from repro.tensor.categories import TensorCategory
+from repro.tensor.spec import TensorSpec
+
+__all__ = ["TensorCategory", "TensorSpec"]

@@ -1,0 +1,32 @@
+"""Data-structure categories used for memory breakdown analysis.
+
+These mirror the classes in Figure 1 of the paper.  ``FEATURE_MAP`` is
+later refined by liveness analysis into *stashed* (also read in the
+backward pass) versus *immediately consumed* (dead after its forward use);
+that refinement lives in :mod:`repro.memory.planner`, not here, because it
+is a property of the schedule, not of the tensor itself.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TensorCategory(enum.Enum):
+    """Coarse data-structure class for a tensor in the training timeline."""
+
+    WEIGHT = "weight"
+    WEIGHT_GRAD = "weight_grad"
+    FEATURE_MAP = "feature_map"
+    GRADIENT_MAP = "gradient_map"
+    WORKSPACE = "workspace"
+    #: Compact stashed representation produced by a Gist encoding
+    #: (bit-packed Binarize mask, CSR arrays, packed DPR words, argmax map).
+    ENCODED = "encoded"
+    #: Small per-layer saved state (e.g. batch-norm statistics, dropout
+    #: masks) that must survive until the backward pass but is not a
+    #: feature map.
+    SAVED_STATE = "saved_state"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,62 @@
+"""Shape/dtype/category descriptor for a tensor in the execution graph."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.dtypes import FP32, DType
+from repro.tensor.categories import TensorCategory
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Immutable description of one tensor (no data, just metadata).
+
+    Attributes:
+        name: Unique, human-readable identifier (e.g. ``"conv1_1.out"``).
+        shape: Logical shape.  Feature maps use NCHW; weights use layer
+            conventions; 1-D shapes are fine for packed encodings.
+        dtype: Storage format — see :mod:`repro.dtypes`.
+        category: Data-structure class for breakdown reporting.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = FP32
+    category: TensorCategory = TensorCategory.FEATURE_MAP
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have a non-empty shape")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r} has non-positive dim: {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of logical elements."""
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this tensor occupies in its storage format."""
+        return self.dtype.size_bytes(self.num_elements)
+
+    def with_dtype(self, dtype: DType, suffix: str = "") -> "TensorSpec":
+        """A copy of this spec in a different storage format.
+
+        Args:
+            dtype: New storage format.
+            suffix: Appended to the name to keep specs distinguishable,
+                e.g. ``".enc"``.
+        """
+        return replace(self, dtype=dtype, name=self.name + suffix)
+
+    def with_category(self, category: TensorCategory) -> "TensorSpec":
+        """A copy of this spec in a different breakdown category."""
+        return replace(self, category=category)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.name}[{dims}:{self.dtype.name}]"

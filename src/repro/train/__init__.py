@@ -1,0 +1,40 @@
+"""NumPy training runtime: executor, stash policies, trainer, datasets."""
+
+from repro.train.data import Dataset, make_synthetic, minibatches
+from repro.train.executor import GraphExecutor
+from repro.train.metrics import accuracy, accuracy_loss
+from repro.train.optimizer import SGD
+from repro.train.stash import (
+    AllFP16Policy,
+    GradientOnlyReductionPolicy,
+    BaselinePolicy,
+    GistPolicy,
+    StashPolicy,
+    UniformReductionPolicy,
+)
+from repro.train.trainer import (
+    SparsitySample,
+    Trainer,
+    TrainResult,
+    feature_map_elements,
+)
+
+__all__ = [
+    "AllFP16Policy",
+    "BaselinePolicy",
+    "Dataset",
+    "GistPolicy",
+    "GradientOnlyReductionPolicy",
+    "GraphExecutor",
+    "SGD",
+    "SparsitySample",
+    "StashPolicy",
+    "UniformReductionPolicy",
+    "TrainResult",
+    "Trainer",
+    "accuracy",
+    "accuracy_loss",
+    "feature_map_elements",
+    "make_synthetic",
+    "minibatches",
+]

@@ -1,0 +1,106 @@
+"""Synthetic image-classification datasets.
+
+Substitution record (DESIGN.md §2): the paper trains on ImageNet; NumPy on
+CPU cannot.  The accuracy phenomena Figure 12 demonstrates — forward-pass
+quantisation error compounding across layers versus backward-only DPR
+error being absorbed by SGD — depend on backprop through deep conv stacks,
+not on the dataset.  We use a deterministic synthetic task: each class is
+a smooth random template; samples are the template plus noise.  It is
+learnable (baseline reaches high accuracy in a few epochs) yet non-trivial
+(noise forces real feature learning), and fully reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Images (N, C, H, W) float32 and integer labels (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"{self.images.shape[0]} images but {self.labels.shape[0]} labels"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+def _smooth_template(
+    rng: np.random.Generator, channels: int, size: int, grid: int = 4
+) -> np.ndarray:
+    """A smooth random pattern: coarse noise upsampled bilinearly."""
+    coarse = rng.normal(0.0, 1.0, (channels, grid, grid))
+    # Bilinear upsample by separable linear interpolation.
+    src = np.linspace(0, grid - 1, size)
+    i0 = np.floor(src).astype(int)
+    i1 = np.minimum(i0 + 1, grid - 1)
+    w = (src - i0)[None, :]
+    rows = coarse[:, i0, :] * (1 - w.T[None, :, :]) + coarse[:, i1, :] * w.T[None, :, :]
+    out = rows[:, :, i0] * (1 - w[None, :, :]) + rows[:, :, i1] * w[None, :, :]
+    return out.astype(np.float32)
+
+
+def make_synthetic(
+    num_samples: int = 512,
+    num_classes: int = 4,
+    image_size: int = 32,
+    channels: int = 3,
+    noise: float = 0.6,
+    seed: int = 0,
+) -> Tuple[Dataset, Dataset]:
+    """Build (train, test) splits of the synthetic classification task.
+
+    Args:
+        num_samples: Training set size; the test split is a quarter of it.
+        num_classes: Number of template classes.
+        image_size: Square image side.
+        channels: Image channels.
+        noise: Per-pixel Gaussian noise sigma added to the class template.
+        seed: Master seed — everything is deterministic given it.
+    """
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    templates = [
+        _smooth_template(rng, channels, image_size) for _ in range(num_classes)
+    ]
+
+    def sample_split(n: int) -> Dataset:
+        labels = rng.integers(0, num_classes, n)
+        images = np.stack([templates[c] for c in labels])
+        images += rng.normal(0.0, noise, images.shape).astype(np.float32)
+        return Dataset(images.astype(np.float32), labels.astype(np.int64))
+
+    return sample_split(num_samples), sample_split(max(num_samples // 4, num_classes))
+
+
+def minibatches(
+    dataset: Dataset,
+    batch_size: int,
+    rng: np.random.Generator,
+    drop_last: bool = True,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffled minibatch iterator over one epoch."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = rng.permutation(dataset.num_samples)
+    for start in range(0, dataset.num_samples, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            return
+        yield dataset.images[idx], dataset.labels[idx]

@@ -1,0 +1,226 @@
+"""NumPy training executor with encoding-aware stashing.
+
+Runs a training graph forward and backward, routing every stashed feature
+map through the active :class:`~repro.train.stash.StashPolicy`.  With the
+baseline policy this computes exact FP32 gradients (verified by the
+numerical gradient-check tests); with a Gist policy the backward pass
+reads decoded representations — bit-identical for Binarize/SSDC, rounded
+for DPR — exactly as the paper's modified CNTK does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.encodings.base import Encoding
+from repro.graph.graph import Graph
+from repro.graph.node import OpNode
+from repro.layers.base import OpContext
+from repro.layers.loss import SoftmaxCrossEntropy
+from repro.train.stash import BaselinePolicy, StashPolicy
+
+#: Node kinds whose outputs are sparsity-tracked each forward pass.
+_SPARSITY_KINDS = {"relu", "maxpool"}
+
+
+class _Context(OpContext):
+    """Per-node bridge wired to the executor's stash store."""
+
+    def __init__(self, executor: "GraphExecutor", node: OpNode):
+        self._executor = executor
+        self._node = node
+        self._state: Dict[str, np.ndarray] = {}
+
+    def save_state(self, key: str, value: np.ndarray) -> None:
+        self._state[key] = value
+
+    def get_state(self, key: str) -> np.ndarray:
+        try:
+            return self._state[key]
+        except KeyError:
+            raise KeyError(
+                f"{self._node.name}: no saved state {key!r}; was forward run?"
+            ) from None
+
+    def stashed_input(self, index: int = 0) -> np.ndarray:
+        return self._executor.stashed_value(self._node.inputs[index])
+
+    def stashed_output(self) -> np.ndarray:
+        return self._executor.stashed_value(self._node.node_id)
+
+
+class GraphExecutor:
+    """Forward/backward engine over a training graph.
+
+    Args:
+        graph: The execution graph (must end in a loss node).
+        policy: Stash policy (defaults to the FP32 baseline).
+        seed: Parameter-initialisation seed.
+    """
+
+    def __init__(self, graph: Graph, policy: Optional[StashPolicy] = None,
+                 seed: int = 0):
+        self.graph = graph
+        self.policy = policy or BaselinePolicy()
+        rng = np.random.default_rng(seed)
+        self.params: Dict[int, Dict[str, np.ndarray]] = {}
+        for node in graph.nodes:
+            self.params[node.node_id] = node.layer.init_params(
+                node.input_shapes(graph), rng
+            )
+        self._loss_node = graph.node(graph.output_id)
+        if not isinstance(self._loss_node.layer, SoftmaxCrossEntropy):
+            raise ValueError(
+                f"graph output must be a SoftmaxCrossEntropy loss, "
+                f"got {self._loss_node.kind!r}"
+            )
+        self._stash: Dict[int, Tuple[Encoding, object]] = {}
+        self._decoded: Dict[int, np.ndarray] = {}
+        self._ctx: Dict[int, _Context] = {}
+        self.last_logits: Optional[np.ndarray] = None
+        self.last_sparsity: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Flat view of all learnable parameters, keyed ``node.param``."""
+        flat: Dict[str, np.ndarray] = {}
+        for node in self.graph.nodes:
+            for pname, arr in self.params[node.node_id].items():
+                flat[f"{node.name}.{pname}"] = arr
+        return flat
+
+    def stashed_value(self, node_id: int) -> np.ndarray:
+        """Decode (with caching) the stashed feature map of ``node_id``."""
+        if node_id in self._decoded:
+            return self._decoded[node_id]
+        try:
+            encoding, encoded = self._stash[node_id]
+        except KeyError:
+            name = self.graph.node(node_id).name
+            raise KeyError(f"feature map of {name!r} was not stashed") from None
+        value = encoding.decode(encoded)
+        self._decoded[node_id] = value
+        return value
+
+    def stash_bytes(self) -> Dict[str, int]:
+        """Measured stash footprint per node after a forward pass."""
+        out: Dict[str, int] = {}
+        for node_id, (encoding, encoded) in self._stash.items():
+            out[self.graph.node(node_id).name] = encoding.measure_bytes(encoded)
+        return out
+
+    # ------------------------------------------------------------------
+    def _runtime_needs_stash(self, node: OpNode) -> bool:
+        if _runtime_needs_output(node):
+            return True
+        return any(
+            _runtime_needs_input(c) for c in self.graph.consumers(node.node_id)
+        )
+
+    def forward(self, images: np.ndarray, labels: np.ndarray,
+                train: bool = True) -> float:
+        """Run the forward pass; returns the scalar loss."""
+        expected = self.graph.node(self.graph.input_id).output_shape
+        if tuple(images.shape) != tuple(expected):
+            raise ValueError(
+                f"input shape {images.shape} does not match graph input "
+                f"{expected}"
+            )
+        self._stash.clear()
+        self._decoded.clear()
+        self._ctx.clear()
+        self.last_sparsity = {}
+        self._loss_node.layer.set_labels(labels)
+
+        values: Dict[int, np.ndarray] = {
+            self.graph.input_id: images.astype(np.float32, copy=False)
+        }
+        self._maybe_stash(self.graph.node(self.graph.input_id),
+                          values[self.graph.input_id])
+        loss = 0.0
+        for node in self.graph.nodes:
+            if node.node_id == self.graph.input_id:
+                continue
+            ctx = _Context(self, node)
+            self._ctx[node.node_id] = ctx
+            xs = [values[i] for i in node.inputs]
+            y = node.layer.forward(xs, self.params[node.node_id], ctx, train)
+            y = self.policy.transform_forward(y, node)
+            values[node.node_id] = y
+            if node.kind in _SPARSITY_KINDS:
+                self.last_sparsity[node.name] = float((y == 0).mean())
+            if node.node_id == self.graph.output_id:
+                loss = float(y[0])
+            else:
+                self._maybe_stash(node, y)
+            if node.inputs == [self.graph.output_id]:
+                raise AssertionError("loss output consumed by another op")
+        # Keep the logits (the loss node's input) for accuracy metrics.
+        self.last_logits = values[self._loss_node.inputs[0]]
+        return loss
+
+    def _maybe_stash(self, node: OpNode, y: np.ndarray) -> None:
+        if not self._runtime_needs_stash(node):
+            return
+        encoding = self.policy.encoding_for(self.graph, node.node_id)
+        self._stash[node.node_id] = (encoding, encoding.encode(y))
+
+    def backward(self) -> Dict[str, np.ndarray]:
+        """Run the backward pass; returns flat parameter gradients."""
+        if self.last_logits is None:
+            raise RuntimeError("backward() called before forward()")
+        grads_out: Dict[int, np.ndarray] = {
+            self.graph.output_id: np.ones(1, dtype=np.float32)
+        }
+        param_grads: Dict[str, np.ndarray] = {}
+        self._decoded.clear()
+        for node in reversed(self.graph.nodes):
+            if node.node_id == self.graph.input_id:
+                continue
+            dy = grads_out.pop(node.node_id, None)
+            if dy is None:
+                # Node not on the loss path (cannot happen for our models,
+                # but a disconnected diagnostics op would land here).
+                continue
+            dxs, dparams = node.layer.backward(
+                dy, self.params[node.node_id], self._ctx[node.node_id]
+            )
+            if len(dxs) != len(node.inputs):
+                raise RuntimeError(
+                    f"{node.name}: backward returned {len(dxs)} gradients "
+                    f"for {len(node.inputs)} inputs"
+                )
+            for input_id, dx in zip(node.inputs, dxs):
+                dx = self.policy.transform_gradient(dx, node)
+                if input_id in grads_out:
+                    grads_out[input_id] = grads_out[input_id] + dx
+                else:
+                    grads_out[input_id] = dx
+            for pname, grad in dparams.items():
+                param_grads[f"{node.name}.{pname}"] = grad
+        self.input_gradient = grads_out.get(self.graph.input_id)
+        return param_grads
+
+    # ------------------------------------------------------------------
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Inference logits for a batch matching the graph's input shape."""
+        dummy = np.zeros(images.shape[0], dtype=np.int64)
+        self.forward(images, dummy, train=False)
+        assert self.last_logits is not None
+        return self.last_logits
+
+
+def _runtime_needs_input(node: OpNode) -> bool:
+    override = getattr(node.layer, "runtime_backward_needs_input", None)
+    if override is not None:
+        return override
+    return node.layer.backward_needs_input
+
+
+def _runtime_needs_output(node: OpNode) -> bool:
+    override = getattr(node.layer, "runtime_backward_needs_output", None)
+    if override is not None:
+        return override
+    return node.layer.backward_needs_output

@@ -1,0 +1,21 @@
+"""Training metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits (N, classes) against integer labels (N,)."""
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"batch mismatch: {logits.shape[0]} logits, {labels.shape[0]} labels"
+        )
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def accuracy_loss(acc: float) -> float:
+    """The paper's Figure 12 y-axis: ``100% - accuracy`` as a fraction."""
+    if not 0.0 <= acc <= 1.0:
+        raise ValueError(f"accuracy must be in [0, 1], got {acc}")
+    return 1.0 - acc

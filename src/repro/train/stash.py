@@ -1,0 +1,153 @@
+"""Runtime stash policies: what actually gets stored between passes.
+
+The executor routes every stashed feature map through a policy:
+
+* :class:`BaselinePolicy` — FP32 references, no transformation (the CNTK
+  baseline, and the exact-gradient path used by the gradient-check tests).
+* :class:`GistPolicy` — per-edge encodings chosen by the same classifier
+  the Schedule Builder uses: Binarize for ReLU-Pool maps, SSDC for
+  ReLU-Conv maps, DPR for the rest.  Lossless edges reconstruct exactly;
+  DPR edges inject precisely the quantisation error the paper's Figure 12
+  accuracy study measures.
+* :class:`AllFP16Policy` — the prior-work baseline: quantise every layer
+  output *in the forward pass*, so error propagates through subsequent
+  layers (the curve that diverges in Figure 12).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.analysis import (
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    classify_all_stashes,
+)
+from repro.core.policy import GistConfig
+from repro.dtypes import DPR_FORMATS, FP16
+from repro.encodings.base import Encoding, IdentityEncoding
+from repro.encodings.binarize import BinarizeEncoding
+from repro.encodings.dpr import DPREncoding
+from repro.encodings.floatsim import quantize
+from repro.encodings.ssdc import SSDCEncoding
+from repro.graph.graph import Graph
+from repro.graph.node import OpNode
+
+
+class StashPolicy(abc.ABC):
+    """Chooses the stash encoding per feature-map edge."""
+
+    @abc.abstractmethod
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        """Encoding for the feature map produced by ``node_id``."""
+
+    def transform_forward(self, y: np.ndarray, node: OpNode) -> np.ndarray:
+        """Hook applied to every layer output before consumers see it."""
+        return y
+
+    def transform_gradient(self, dx: np.ndarray, node: OpNode) -> np.ndarray:
+        """Hook applied to every gradient map a backward op produces."""
+        return dx
+
+    #: If set, the trainer re-quantises every weight to this format after
+    #: each optimiser step (uniform-reduction baselines store weights in
+    #: the reduced format too).
+    param_dtype = None
+
+
+class BaselinePolicy(StashPolicy):
+    """FP32 stashes everywhere — the exact-arithmetic baseline."""
+
+    def __init__(self):
+        self._identity = IdentityEncoding()
+
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        return self._identity
+
+
+class GistPolicy(StashPolicy):
+    """Layer-pair-aware encodings, mirroring the Schedule Builder."""
+
+    def __init__(self, graph: Graph, config: Optional[GistConfig] = None):
+        self.config = config or GistConfig()
+        cfg = self.config
+        dpr_dtype = DPR_FORMATS[cfg.dpr_format]
+        self._identity = IdentityEncoding()
+        self._binarize = BinarizeEncoding()
+        self._ssdc = SSDCEncoding(
+            cols=cfg.ssdc_cols,
+            value_dtype=dpr_dtype if (cfg.dpr and cfg.dpr_over_ssdc) else None,
+        )
+        self._dpr = DPREncoding(dpr_dtype, cfg.rounding)
+        self._table: Dict[int, Encoding] = {}
+        for node_id, info in classify_all_stashes(graph).items():
+            if info.stash_class == STASH_RELU_POOL and cfg.binarize:
+                self._table[node_id] = self._binarize
+            elif info.stash_class == STASH_RELU_CONV and cfg.ssdc:
+                self._table[node_id] = self._ssdc
+            elif cfg.dpr:
+                self._table[node_id] = self._dpr
+
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        return self._table.get(node_id, self._identity)
+
+
+class UniformReductionPolicy(StashPolicy):
+    """Prior-work uniform reduction: quantise outputs in the forward pass.
+
+    Every layer's output is rounded to the reduced format immediately after
+    computation, so the next layer consumes the error — the design choice
+    the paper identifies as the cause of severe accuracy loss.  Comparing
+    this policy at a given width against :class:`GistPolicy` with DPR at
+    the *same* width isolates exactly the paper's delayed-reduction claim.
+    """
+
+    def __init__(self, dtype=FP16, quantize_gradients: bool = True,
+                 quantize_params: bool = True):
+        self.dtype = dtype
+        self._identity = IdentityEncoding()
+        self.quantize_gradients = quantize_gradients
+        self.param_dtype = dtype if quantize_params else None
+
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        return self._identity  # the stash is already quantised
+
+    def transform_forward(self, y: np.ndarray, node: OpNode) -> np.ndarray:
+        if node.kind in ("loss", "input"):
+            return y
+        return quantize(y, self.dtype)
+
+    def transform_gradient(self, dx: np.ndarray, node: OpNode) -> np.ndarray:
+        if not self.quantize_gradients:
+            return dx
+        return quantize(dx, self.dtype)
+
+
+class AllFP16Policy(UniformReductionPolicy):
+    """The paper's "All-FP16" arm: uniform FP16 in the forward pass."""
+
+    def __init__(self):
+        super().__init__(FP16)
+
+
+class GradientOnlyReductionPolicy(StashPolicy):
+    """Reduce precision of *gradient maps only* (paper Section III-B).
+
+    The paper's stepping-stone observation: restricting reduction to the
+    backward gradient maps leaves training accuracy intact (unlike uniform
+    reduction), which motivates pushing further — DPR extends the idea to
+    the stashed feature maps themselves.
+    """
+
+    def __init__(self, dtype=FP16):
+        self.dtype = dtype
+        self._identity = IdentityEncoding()
+
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        return self._identity
+
+    def transform_gradient(self, dx: np.ndarray, node: OpNode) -> np.ndarray:
+        return quantize(dx, self.dtype)

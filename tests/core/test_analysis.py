@@ -1,0 +1,151 @@
+"""Tests for stash classification (paper Figure 3 semantics)."""
+
+from repro.core import (
+    STASH_OTHER,
+    STASH_RELU_CONV,
+    STASH_RELU_POOL,
+    classify_all_stashes,
+    classify_stash,
+    stash_bytes_by_class,
+)
+from repro.graph import GraphBuilder, TrainingSchedule
+from repro.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Dense,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def classify_by_name(graph):
+    infos = classify_all_stashes(graph)
+    return {graph.node(nid).name: info.stash_class for nid, info in infos.items()}
+
+
+class TestClassification:
+    def test_relu_pool(self, tiny_graph):
+        classes = classify_by_name(tiny_graph)
+        assert classes["relu1"] == STASH_RELU_POOL
+
+    def test_relu_conv_and_relu_dense(self, tiny_graph):
+        classes = classify_by_name(tiny_graph)
+        assert classes["relu2"] == STASH_RELU_CONV  # feeds Dense
+
+    def test_pool_of_relu_feeding_conv_is_ssdc(self, tiny_graph):
+        classes = classify_by_name(tiny_graph)
+        assert classes["pool1"] == STASH_RELU_CONV
+
+    def test_input_is_other(self, tiny_graph):
+        classes = classify_by_name(tiny_graph)
+        assert classes["input"] == STASH_OTHER  # conv1 stashes the images
+
+    def test_immediate_maps_not_classified(self, tiny_graph):
+        classes = classify_by_name(tiny_graph)
+        assert "conv1" not in classes  # conv output dies in forward
+
+    def test_relu_feeding_lrn_is_other(self):
+        b = GraphBuilder("g", (2, 4, 8, 8))
+        x = b.add(Conv2D(4, 3, pad=1), b.input, name="conv")
+        x = b.add(ReLU(), x, name="relu")
+        x = b.add(LocalResponseNorm(3), x, name="lrn")
+        x = b.add(Dense(2), x, name="fc")
+        x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+        b.mark_output(x)
+        g = b.build()
+        assert classify_by_name(g)["relu"] == STASH_OTHER
+
+    def test_relu_feeding_concat_only_is_binarize_eligible(self):
+        # Concat's backward needs nothing, so the ReLU output's only
+        # backward user is ReLU itself — the 1-bit mask suffices.
+        b = GraphBuilder("g", (2, 4, 8, 8))
+        r1 = b.add(ReLU(), b.add(Conv2D(4, 3, pad=1), b.input, name="c1"),
+                   name="r1")
+        r2 = b.add(ReLU(), b.add(Conv2D(4, 3, pad=1), b.input, name="c2"),
+                   name="r2")
+        cat = b.add(Concat(), [r1, r2], name="cat")
+        x = b.add(Dense(2), cat, name="fc")
+        x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+        b.mark_output(x)
+        g = b.build()
+        classes = classify_by_name(g)
+        assert classes["r1"] == STASH_RELU_POOL
+        assert classes["cat"] == STASH_OTHER  # dense needs its values
+
+    def test_relu_feeding_pool_and_conv_is_ssdc(self):
+        # A value consumer (conv) disqualifies Binarize even when a pool is
+        # also a consumer.
+        b = GraphBuilder("g", (2, 4, 8, 8))
+        r = b.add(ReLU(), b.add(Conv2D(4, 3, pad=1), b.input, name="c1"),
+                  name="r")
+        p = b.add(MaxPool2D(2, 2), r, name="pool")
+        c2 = b.add(Conv2D(4, 3, pad=1), r, name="c2")
+        p2 = b.add(MaxPool2D(2, 2), c2, name="pool2")
+        m = b.add(Add(), [p, p2], name="add")
+        x = b.add(Dense(2), m, name="fc")
+        x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+        b.mark_output(x)
+        g = b.build()
+        assert classify_by_name(g)["r"] == STASH_RELU_CONV
+
+    def test_resnet_block_relu_is_ssdc(self):
+        from repro.models import resnet_cifar
+
+        g = resnet_cifar(14, batch_size=2)
+        classes = classify_by_name(g)
+        assert classes["s1b0_relu"] == STASH_RELU_CONV
+
+    def test_bn_input_is_other(self):
+        from repro.models import resnet_cifar
+
+        g = resnet_cifar(14, batch_size=2)
+        classes = classify_by_name(g)
+        # conv outputs feeding batch-norm are stashed for BN's backward.
+        assert classes["conv1"] == STASH_OTHER
+
+    def test_avgpool_input_not_stashed_by_pool(self):
+        b = GraphBuilder("g", (2, 4, 8, 8))
+        x = b.add(Conv2D(4, 3, pad=1), b.input, name="conv")
+        x = b.add(ReLU(), x, name="relu")
+        x = b.add(AvgPool2D(2, 2), x, name="avg")
+        x = b.add(Dense(2), x, name="fc")
+        x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+        b.mark_output(x)
+        g = b.build()
+        classes = classify_by_name(g)
+        # relu's only backward user is itself -> mask-only -> binarize class.
+        assert classes["relu"] == STASH_RELU_POOL
+
+    def test_not_stashed_returns_none(self, tiny_graph):
+        schedule = TrainingSchedule(tiny_graph)
+        conv1 = tiny_graph.node_by_name("conv1")
+        assert classify_stash(tiny_graph, schedule, conv1.node_id) is None
+
+
+class TestStashBytesBreakdown:
+    def test_vgg16_matches_paper_fractions(self):
+        """Paper: VGG16 has ~40% ReLU-Pool and ~49% ReLU-Conv."""
+        from repro.models import vgg16
+
+        bb = stash_bytes_by_class(vgg16(batch_size=8))
+        total = sum(bb.values())
+        assert 0.35 < bb[STASH_RELU_POOL] / total < 0.45
+        assert 0.45 < bb[STASH_RELU_CONV] / total < 0.65
+        assert bb[STASH_OTHER] / total < 0.05
+
+    def test_all_classes_keyed(self, tiny_graph):
+        bb = stash_bytes_by_class(tiny_graph)
+        assert set(bb) == {STASH_RELU_POOL, STASH_RELU_CONV, STASH_OTHER}
+
+    def test_relu_dominates_convnets(self):
+        from repro.models import overfeat
+
+        bb = stash_bytes_by_class(overfeat(batch_size=4))
+        total = sum(bb.values())
+        relu_frac = (bb[STASH_RELU_POOL] + bb[STASH_RELU_CONV]) / total
+        assert relu_frac > 0.7  # the paper's central Figure 3 observation

@@ -1,0 +1,78 @@
+"""Tests for DPR packing and the DPR encoding."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FP8, FP10, FP16, FP32
+from repro.encodings.dpr import (
+    DPREncoding,
+    dpr_encoding,
+    pack_codes,
+    unpack_codes,
+)
+from repro.encodings.floatsim import quantize
+
+
+@pytest.mark.parametrize("dtype", [FP16, FP10, FP8], ids=lambda d: d.name)
+class TestPacking:
+    def test_roundtrip(self, dtype, rng):
+        n = 101  # deliberately not a multiple of values_per_word
+        codes = rng.integers(0, 1 << dtype.bits, n).astype(np.uint32)
+        words = pack_codes(codes, dtype)
+        np.testing.assert_array_equal(unpack_codes(words, n, dtype), codes)
+
+    def test_word_count(self, dtype):
+        n = 100
+        words = pack_codes(np.zeros(n, np.uint32), dtype)
+        expected = -(-n // dtype.values_per_word)
+        assert words.size == expected
+
+    def test_no_cross_lane_bleed(self, dtype):
+        # All-ones codes in every lane must unpack to all-ones exactly.
+        k = dtype.values_per_word
+        codes = np.full(k, (1 << dtype.bits) - 1, np.uint32)
+        words = pack_codes(codes, dtype)
+        assert words.size == 1
+        np.testing.assert_array_equal(unpack_codes(words, k, dtype), codes)
+
+
+class TestDPREncoding:
+    @pytest.mark.parametrize("name", ["fp16", "fp10", "fp8"])
+    def test_decode_equals_quantize(self, name, rng):
+        enc = dpr_encoding(name)
+        x = rng.normal(0, 1, (8, 13)).astype(np.float32)
+        out = enc.decode(enc.encode(x))
+        np.testing.assert_array_equal(out, quantize(x, enc.dtype))
+
+    def test_shape_restored(self, rng):
+        enc = dpr_encoding("fp8")
+        x = rng.normal(0, 1, (2, 3, 4, 5)).astype(np.float32)
+        assert enc.decode(enc.encode(x)).shape == (2, 3, 4, 5)
+
+    def test_static_size_matches_runtime(self, rng):
+        for name in ("fp16", "fp10", "fp8"):
+            enc = dpr_encoding(name)
+            x = rng.normal(0, 1, 997).astype(np.float32)
+            assert enc.measure_bytes(enc.encode(x)) == enc.encoded_bytes(997)
+
+    def test_compression_ratios(self):
+        # FP16 = 2x, FP10 ~ 3x (2 wasted bits), FP8 = 4x.
+        n = 3 * 2 * 4 * 100
+        assert dpr_encoding("fp16").encoded_bytes(n) * 2 == 4 * n
+        assert dpr_encoding("fp8").encoded_bytes(n) * 4 == 4 * n
+        fp10 = dpr_encoding("fp10").encoded_bytes(n)
+        assert 4 * n / fp10 == pytest.approx(3.0)
+
+    def test_lossless_flag(self):
+        assert not dpr_encoding("fp16").lossless
+
+    def test_rejects_fp32(self):
+        with pytest.raises(ValueError):
+            DPREncoding(FP32)
+
+    def test_unknown_format(self):
+        with pytest.raises(KeyError):
+            dpr_encoding("fp12")
+
+    def test_name(self):
+        assert dpr_encoding("fp10").name == "dpr-fp10"

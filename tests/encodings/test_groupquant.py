@@ -1,0 +1,94 @@
+"""Tests for the group-quantisation extension encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encodings import GroupQuantEncoding, GroupQuantPolicy
+
+
+class TestGroupQuant:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_error_bounded_by_half_step(self, bits, rng):
+        enc = GroupQuantEncoding(bits, group_size=32)
+        x = rng.normal(0, 2, (16, 32)).astype(np.float32)
+        d = enc.decode(enc.encode(x))
+        levels = (1 << bits) - 1
+        for g in range(16):
+            row = x[g]
+            step = (row.max() - row.min()) / levels
+            err = np.abs(d[g] - row).max()
+            assert err <= step * 0.51 + 1e-6
+
+    def test_constant_group_exact(self):
+        enc = GroupQuantEncoding(2, group_size=8)
+        x = np.full((4, 8), 3.25, np.float32)
+        np.testing.assert_allclose(enc.decode(enc.encode(x)), x, atol=1e-6)
+
+    def test_extremes_exact(self, rng):
+        # Group min and max always land on grid points.
+        enc = GroupQuantEncoding(4, group_size=16)
+        x = rng.normal(0, 1, (16,)).astype(np.float32)
+        d = enc.decode(enc.encode(x))
+        assert d.min() == pytest.approx(x.min(), abs=1e-6)
+        assert d.max() == pytest.approx(x.max(), abs=1e-6)
+
+    def test_bytes_match_model(self, rng):
+        for n in (1, 31, 256, 1000):
+            enc = GroupQuantEncoding(4, group_size=64)
+            x = rng.normal(0, 1, n).astype(np.float32)
+            e = enc.encode(x)
+            assert enc.measure_bytes(e) == enc.encoded_bytes(n)
+
+    def test_int4_beats_fp8_bytes(self):
+        enc4 = GroupQuantEncoding(4, group_size=256)
+        from repro.encodings import dpr_encoding
+
+        n = 1 << 16
+        assert enc4.encoded_bytes(n) < dpr_encoding("fp8").encoded_bytes(n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupQuantEncoding(3)
+        with pytest.raises(ValueError):
+            GroupQuantEncoding(4, group_size=0)
+
+    @settings(max_examples=40)
+    @given(
+        x=hnp.arrays(np.float32,
+                     st.integers(1, 300),
+                     elements=st.floats(-1e4, 1e4, width=32)),
+        bits=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_property_shape_and_idempotence(self, x, bits):
+        enc = GroupQuantEncoding(bits, group_size=32)
+        d = enc.decode(enc.encode(x))
+        assert d.shape == x.shape
+        d2 = enc.decode(enc.encode(d))
+        np.testing.assert_allclose(d2, d, rtol=1e-5, atol=1e-5)
+
+
+class TestGroupQuantTraining:
+    def test_int4_stash_trains(self):
+        from repro.models import tiny_cnn
+        from repro.train import SGD, Trainer, make_synthetic
+
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(256, 4, 8, seed=1)
+        policy = GroupQuantPolicy(bits=4, group_size=128)
+        result = Trainer(g, policy, SGD(lr=0.05), seed=0).train(
+            train, test, epochs=3
+        )
+        assert result.final_accuracy > 0.8
+
+    def test_forward_untouched(self):
+        from repro.models import tiny_cnn
+        from repro.train import BaselinePolicy, GraphExecutor, make_synthetic
+
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(16, 4, 8, seed=0)
+        images, labels = train.images[:8], train.labels[:8]
+        base = GraphExecutor(g, BaselinePolicy(), seed=0).forward(images, labels)
+        gq = GraphExecutor(g, GroupQuantPolicy(4), seed=0).forward(images, labels)
+        assert base == gq

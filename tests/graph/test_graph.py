@@ -1,0 +1,113 @@
+"""Tests for the graph IR: builder, DAG invariants, introspection."""
+
+import pytest
+
+from repro.graph import Graph, GraphBuilder, GraphError
+from repro.layers import Add, Concat, Conv2D, Dense, MaxPool2D, ReLU, SoftmaxCrossEntropy
+
+
+def small_builder():
+    return GraphBuilder("g", (2, 3, 8, 8))
+
+
+class TestBuilder:
+    def test_sequential_build(self, tiny_graph):
+        assert len(tiny_graph) == 8  # input + 7 ops
+        assert tiny_graph.node_by_name("conv1").kind == "conv"
+
+    def test_shapes_propagate(self, tiny_graph):
+        assert tiny_graph.node_by_name("pool1").output_shape == (4, 4, 4, 4)
+        assert tiny_graph.node_by_name("fc").output_shape == (4, 4)
+
+    def test_duplicate_names_rejected(self):
+        b = small_builder()
+        b.add(ReLU(), b.input, name="r")
+        with pytest.raises(GraphError):
+            b.add(ReLU(), b.input, name="r")
+
+    def test_auto_names_unique(self):
+        b = small_builder()
+        r1 = b.add(ReLU(), b.input)
+        r2 = b.add(ReLU(), r1)
+        g = b.build()
+        names = [n.name for n in g.nodes]
+        assert len(names) == len(set(names))
+
+    def test_multi_input_ops(self):
+        b = small_builder()
+        a = b.add(Conv2D(4, 3, pad=1), b.input, name="a")
+        c = b.add(Conv2D(4, 3, pad=1), b.input, name="c")
+        m = b.add(Add(), [a, c], name="add")
+        g = b.build()
+        assert [g.node(i).name for i in g.node_by_name("add").inputs] == ["a", "c"]
+
+    def test_default_output_is_last(self):
+        b = small_builder()
+        b.add(ReLU(), b.input, name="r")
+        g = b.build()
+        assert g.node(g.output_id).name == "r"
+
+    def test_shape_of(self):
+        b = small_builder()
+        r = b.add(Conv2D(5, 3, pad=1), b.input)
+        assert b.shape_of(r) == (2, 5, 8, 8)
+
+    def test_empty_inputs_rejected(self):
+        b = small_builder()
+        with pytest.raises(GraphError):
+            b.add(ReLU(), [])
+
+
+class TestGraphQueries:
+    def test_topological_order_respects_edges(self, tiny_graph):
+        order = tiny_graph.topological_ids()
+        position = {nid: i for i, nid in enumerate(order)}
+        for node in tiny_graph.nodes:
+            for src in node.inputs:
+                assert position[src] < position[node.node_id]
+
+    def test_consumers(self, tiny_graph):
+        conv1 = tiny_graph.node_by_name("conv1")
+        consumers = tiny_graph.consumers(conv1.node_id)
+        assert [c.name for c in consumers] == ["relu1"]
+
+    def test_unknown_node(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.node(9999)
+        with pytest.raises(GraphError):
+            tiny_graph.node_by_name("nope")
+
+    def test_param_shapes(self, tiny_graph):
+        shapes = tiny_graph.param_shapes()
+        assert shapes["conv1.w"] == (4, 3, 3, 3)
+        assert shapes["fc.b"] == (4,)
+
+    def test_num_parameters(self, tiny_graph):
+        expected = (4 * 3 * 9 + 4) + (8 * 4 * 9 + 8) + (8 * 4 * 4 * 4 + 4)
+        assert tiny_graph.num_parameters() == expected
+
+    def test_flops_positive(self, tiny_graph):
+        assert tiny_graph.total_forward_flops() > 0
+
+    def test_summary_mentions_every_node(self, tiny_graph):
+        text = tiny_graph.summary()
+        for node in tiny_graph.nodes:
+            assert node.name in text
+
+    def test_cycle_detection(self):
+        from repro.graph.node import OpNode
+
+        layer = ReLU()
+        nodes = {
+            0: OpNode(0, "a", layer, [1], (1, 1, 2, 2)),
+            1: OpNode(1, "b", layer, [0], (1, 1, 2, 2)),
+        }
+        with pytest.raises(GraphError):
+            Graph("cyclic", nodes, 0, 1)
+
+    def test_dangling_input_rejected(self):
+        from repro.graph.node import OpNode
+
+        nodes = {0: OpNode(0, "a", ReLU(), [5], (1, 1, 2, 2))}
+        with pytest.raises(GraphError):
+            Graph("dangling", nodes, 0, 0)

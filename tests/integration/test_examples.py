@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts run to completion.
+
+Only the fast (analysis-only) examples run here; the training examples
+are exercised indirectly through the Figure 12/14 benches.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=None, monkeypatch=None):
+    if monkeypatch is not None:
+        monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "memory footprint ratio" in out
+        assert "binarize" in out
+
+    def test_memory_breakdown(self, capsys):
+        run_example("memory_breakdown.py")
+        out = capsys.readouterr().out
+        assert "VGG16 alone stashes" in out
+        assert "ReLU-Pool" in out
+
+    def test_reproduce_paper_small_batch(self, capsys, monkeypatch, tmp_path):
+        out_file = tmp_path / "headline.json"
+        run_example(
+            "reproduce_paper.py",
+            ["--batch-size", "8", "--out", str(out_file)],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "averages" in out
+        assert out_file.exists()

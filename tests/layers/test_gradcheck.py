@@ -1,0 +1,179 @@
+"""Numerical gradient checks for every layer's backward pass.
+
+These verify the cuDNN-substitute kernels: if any backward formula were
+wrong, every downstream experiment (accuracy studies especially) would be
+measuring artifacts of our substrate instead of Gist's behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+
+from tests.conftest import check_layer_gradients, numerical_gradient, run_layer
+
+
+def _x(rng, *shape):
+    return rng.normal(0, 1, shape).astype(np.float32)
+
+
+class TestConvGradients:
+    def test_basic(self, rng):
+        layer = Conv2D(3, 3, stride=1, pad=1)
+        x = _x(rng, 2, 2, 5, 5)
+        params = layer.init_params([x.shape], rng)
+        check_layer_gradients(layer, [x], params)
+
+    def test_strided(self, rng):
+        layer = Conv2D(2, 3, stride=2, pad=0)
+        x = _x(rng, 2, 3, 7, 7)
+        params = layer.init_params([x.shape], rng)
+        check_layer_gradients(layer, [x], params)
+
+    def test_no_bias(self, rng):
+        layer = Conv2D(2, 3, pad=1, bias=False)
+        x = _x(rng, 1, 2, 4, 4)
+        params = layer.init_params([x.shape], rng)
+        assert "b" not in params
+        check_layer_gradients(layer, [x], params)
+
+    def test_1x1(self, rng):
+        layer = Conv2D(4, 1)
+        x = _x(rng, 2, 3, 4, 4)
+        params = layer.init_params([x.shape], rng)
+        check_layer_gradients(layer, [x], params)
+
+    def test_rectangular_kernel(self, rng):
+        layer = Conv2D(2, (1, 3), pad=0)
+        x = _x(rng, 1, 2, 4, 6)
+        params = layer.init_params([x.shape], rng)
+        check_layer_gradients(layer, [x], params)
+
+
+class TestActivationGradients:
+    def test_relu(self, rng):
+        # Shift away from 0 to avoid the kink in finite differences.
+        x = _x(rng, 3, 4, 5, 5)
+        x[np.abs(x) < 0.05] += 0.2
+        check_layer_gradients(ReLU(), [x])
+
+    def test_sigmoid(self, rng):
+        check_layer_gradients(Sigmoid(), [_x(rng, 4, 7)])
+
+    def test_tanh(self, rng):
+        check_layer_gradients(Tanh(), [_x(rng, 4, 7)])
+
+
+class TestPoolGradients:
+    def test_maxpool(self, rng):
+        x = _x(rng, 2, 2, 6, 6)
+        check_layer_gradients(MaxPool2D(2, 2), [x])
+
+    def test_maxpool_3x3_stride2(self, rng):
+        x = _x(rng, 2, 2, 7, 7)
+        check_layer_gradients(MaxPool2D(3, 2), [x])
+
+    def test_maxpool_padded(self, rng):
+        x = _x(rng, 1, 2, 6, 6)
+        check_layer_gradients(MaxPool2D(3, 2, pad=1), [x])
+
+    def test_avgpool(self, rng):
+        check_layer_gradients(AvgPool2D(2, 2), [_x(rng, 2, 3, 6, 6)])
+
+    def test_avgpool_padded(self, rng):
+        check_layer_gradients(AvgPool2D(3, 2, pad=1), [_x(rng, 1, 2, 5, 5)])
+
+    def test_global_avgpool(self, rng):
+        check_layer_gradients(GlobalAvgPool2D(), [_x(rng, 2, 3, 4, 4)])
+
+
+class TestNormGradients:
+    def test_batchnorm(self, rng):
+        layer = BatchNorm2D()
+        x = _x(rng, 4, 3, 4, 4)
+        params = layer.init_params([x.shape], rng)
+        params["gamma"] = rng.uniform(0.5, 1.5, 3).astype(np.float32)
+        params["beta"] = rng.normal(0, 0.3, 3).astype(np.float32)
+        check_layer_gradients(layer, [x], params, rtol=2e-2, atol=3e-3)
+
+    def test_lrn(self, rng):
+        layer = LocalResponseNorm(size=3, alpha=1e-2, beta=0.75, k=1.0)
+        x = _x(rng, 2, 6, 3, 3)
+        check_layer_gradients(layer, [x], rtol=2e-2, atol=1e-4)
+
+    def test_lrn_default_params(self, rng):
+        layer = LocalResponseNorm()
+        x = _x(rng, 1, 8, 2, 2)
+        check_layer_gradients(layer, [x], rtol=2e-2, atol=1e-4)
+
+
+class TestOtherGradients:
+    def test_dense(self, rng):
+        layer = Dense(5)
+        x = _x(rng, 3, 2, 2, 2)
+        params = layer.init_params([x.shape], rng)
+        check_layer_gradients(layer, [x], params)
+
+    def test_dropout_scaling(self, rng):
+        # Dropout gradient equals its mask; verify dX = dY * mask.
+        layer = Dropout(0.5, seed=3)
+        x = _x(rng, 4, 10)
+        y, ctx = run_layer(layer, [x])
+        dy = _x(rng, 4, 10)
+        (dx,), _ = layer.backward(dy, {}, ctx)
+        mask = ctx.state["mask"]
+        np.testing.assert_allclose(dx, dy * mask)
+
+    def test_flatten(self, rng):
+        check_layer_gradients(Flatten(), [_x(rng, 2, 3, 2, 2)])
+
+    def test_add(self, rng):
+        layer = Add()
+        a, b = _x(rng, 2, 3, 2, 2), _x(rng, 2, 3, 2, 2)
+        y, ctx = run_layer(layer, [a, b])
+        dy = _x(rng, 2, 3, 2, 2)
+        dxs, _ = layer.backward(dy, {}, ctx)
+        assert len(dxs) == 2
+        np.testing.assert_allclose(dxs[0], dy)
+        np.testing.assert_allclose(dxs[1], dy)
+
+    def test_concat(self, rng):
+        layer = Concat()
+        a, b = _x(rng, 2, 3, 4, 4), _x(rng, 2, 5, 4, 4)
+        y, ctx = run_layer(layer, [a, b])
+        dy = _x(rng, 2, 8, 4, 4)
+        dxs, _ = layer.backward(dy, {}, ctx)
+        np.testing.assert_allclose(dxs[0], dy[:, :3])
+        np.testing.assert_allclose(dxs[1], dy[:, 3:])
+
+    def test_softmax_ce(self, rng):
+        layer = SoftmaxCrossEntropy()
+        logits = _x(rng, 6, 4)
+        labels = rng.integers(0, 4, 6)
+        layer.set_labels(labels)
+        y, ctx = run_layer(layer, [logits])
+        (dx,), _ = layer.backward(np.ones(1, np.float32), {}, ctx)
+
+        def objective():
+            layer.set_labels(labels)
+            y2, _ = run_layer(layer, [logits])
+            return float(y2[0])
+
+        num = numerical_gradient(objective, logits, eps=1e-2)
+        np.testing.assert_allclose(dx, num, rtol=2e-2, atol=1e-4)

@@ -1,0 +1,172 @@
+"""Tests for the static memory-sharing allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.liveness import LiveTensor, ROLE_FEATURE_MAP
+from repro.memory import (
+    POLICY_FIRST_FIT,
+    POLICY_GREEDY_SIZE,
+    POLICY_NO_SHARING,
+    StaticAllocator,
+    static_footprint,
+)
+from repro.tensor import TensorSpec
+
+
+def lt(name, elements, birth, death, shareable=True):
+    return LiveTensor(
+        TensorSpec(name, (elements,)), birth, death, 0, ROLE_FEATURE_MAP,
+        shareable,
+    )
+
+
+class TestPaperExample:
+    """Figure 7: five tensors, baseline groups total 18 MB."""
+
+    MB = 1024 * 1024 // 4  # elements per MB of FP32
+
+    def test_baseline_18mb(self):
+        # X stashed across the whole step; A..D immediately consumed, each
+        # pairwise disjoint but overlapping X.
+        tensors = [
+            lt("X", 10 * self.MB, 0, 9),
+            lt("A", 8 * self.MB, 2, 3),
+            lt("B", 6 * self.MB, 4, 5),
+            lt("C", 8 * self.MB, 6, 7),
+            lt("D", 2 * self.MB, 8, 8),
+        ]
+        result = StaticAllocator().allocate(tensors)
+        assert result.total_bytes == 18 * 1024 * 1024
+        assert len(result.groups) == 2
+
+    def test_after_encoding_12mb(self):
+        # SSDC splits X into FP32 (forward only), 2 MB encoded (the gap),
+        # and a decoded copy at the backward use — Figure 7(b).  The FP32
+        # pieces become immediately-consumed and join A..D's group; only
+        # the 2 MB encoded tensor stays stashed.
+        tensors = [
+            lt("X_fp32", 10 * self.MB, 0, 1),
+            lt("X_enc", 2 * self.MB, 1, 9),
+            lt("X_dec", 10 * self.MB, 9, 9),
+            lt("A", 8 * self.MB, 2, 3),
+            lt("B", 6 * self.MB, 4, 5),
+            lt("C", 8 * self.MB, 6, 7),
+            lt("D", 2 * self.MB, 8, 8),
+        ]
+        result = StaticAllocator().allocate(tensors)
+        assert result.total_bytes == 12 * 1024 * 1024
+
+
+class TestCorrectness:
+    def test_group_members_never_overlap(self):
+        rng = np.random.default_rng(3)
+        tensors = []
+        for i in range(200):
+            birth = int(rng.integers(0, 50))
+            death = birth + int(rng.integers(0, 20))
+            tensors.append(lt(f"t{i}", int(rng.integers(1, 1000)), birth, death))
+        result = StaticAllocator(horizon=80).allocate(tensors)
+        for group in result.groups:
+            for i, a in enumerate(group.members):
+                for b in group.members[i + 1:]:
+                    assert not a.overlaps(b), (a.spec.name, b.spec.name)
+
+    def test_every_tensor_placed_once(self):
+        tensors = [lt(f"t{i}", 10 + i, i % 5, i % 5 + 2) for i in range(50)]
+        result = StaticAllocator(horizon=10).allocate(tensors)
+        placed = [t.spec.name for g in result.groups for t in g.members]
+        assert sorted(placed) == sorted(t.spec.name for t in tensors)
+
+    def test_footprint_bounds(self):
+        tensors = [lt(f"t{i}", 100 + i, i, i + 1) for i in range(20)]
+        total = static_footprint(tensors)
+        assert total >= max(t.size_bytes for t in tensors)
+        assert total <= sum(t.size_bytes for t in tensors)
+
+    def test_non_shareable_gets_dedicated_group(self):
+        tensors = [
+            lt("pinned", 100, 0, 0, shareable=False),
+            lt("other", 100, 5, 5),
+        ]
+        result = StaticAllocator().allocate(tensors)
+        pinned_group = result.group_of("pinned")
+        assert pinned_group.members[0].spec.name == "pinned"
+        assert len(pinned_group.members) == 1
+
+    def test_disjoint_lifetimes_share(self):
+        tensors = [lt("a", 100, 0, 1), lt("b", 100, 2, 3)]
+        assert static_footprint(tensors) == 400  # one shared group
+
+    def test_adjacent_lifetimes_do_not_share(self):
+        # Inclusive intervals: death==birth of the next means both live at
+        # that step (producer/consumer of one op cannot alias).
+        tensors = [lt("a", 100, 0, 2), lt("b", 100, 2, 3)]
+        assert static_footprint(tensors) == 800
+
+    def test_group_size_is_max_member(self):
+        tensors = [lt("big", 1000, 0, 1), lt("small", 10, 5, 6)]
+        result = StaticAllocator().allocate(tensors)
+        assert len(result.groups) == 1
+        assert result.groups[0].size_bytes == 4000
+
+    def test_policies(self):
+        tensors = [lt(f"t{i}", 50 * (i + 1), 2 * i, 2 * i + 1) for i in range(6)]
+        none = static_footprint(tensors, POLICY_NO_SHARING)
+        greedy = static_footprint(tensors, POLICY_GREEDY_SIZE)
+        first = static_footprint(tensors, POLICY_FIRST_FIT)
+        assert greedy <= first <= none
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            StaticAllocator("magic")
+
+    def test_horizon_too_short(self):
+        with pytest.raises(ValueError):
+            StaticAllocator(horizon=3).allocate([lt("a", 1, 0, 5)])
+
+    def test_sharing_ratio(self):
+        tensors = [lt("a", 100, 0, 1), lt("b", 100, 2, 3)]
+        result = StaticAllocator().allocate(tensors)
+        assert result.sharing_ratio == pytest.approx(2.0)
+
+    def test_group_of_missing(self):
+        result = StaticAllocator().allocate([lt("a", 1, 0, 0)])
+        with pytest.raises(KeyError):
+            result.group_of("zzz")
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 500),   # elements
+                st.integers(0, 30),    # birth
+                st.integers(0, 10),    # duration
+                st.booleans(),         # shareable
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_invariants(self, raw):
+        tensors = [
+            lt(f"t{i}", e, b, b + d, s) for i, (e, b, d, s) in enumerate(raw)
+        ]
+        result = StaticAllocator().allocate(tensors)
+        # Placement completeness.
+        assert sum(len(g.members) for g in result.groups) == len(tensors)
+        # No overlap within any group.
+        for group in result.groups:
+            for i, a in enumerate(group.members):
+                for b2 in group.members[i + 1:]:
+                    assert not a.overlaps(b2)
+        # Footprint bounds.
+        assert result.total_bytes <= sum(t.size_bytes for t in tensors)
+        assert result.total_bytes >= max(t.size_bytes for t in tensors)
+        # Dynamic peak is a lower bound on any correct static allocation.
+        from repro.memory import dynamic_footprint
+
+        assert result.total_bytes >= dynamic_footprint(tensors)

@@ -1,0 +1,104 @@
+"""Tests for the recompute/checkpointing baseline."""
+
+import pytest
+
+from repro.memory import (
+    StaticAllocator,
+    build_memory_plan,
+    build_recompute_plan,
+    trunk_nodes,
+)
+from repro.models import scaled_vgg, tiny_cnn, vgg16
+
+
+class TestTrunk:
+    def test_chain_graph_trunk_is_whole_graph(self, tiny_graph):
+        trunk = trunk_nodes(tiny_graph)
+        assert len(trunk) == len(tiny_graph)
+
+    def test_trunk_starts_at_input(self, tiny_graph):
+        assert trunk_nodes(tiny_graph)[0] == tiny_graph.input_id
+
+    def test_branching_stops_trunk(self):
+        from repro.models import resnet_cifar
+
+        g = resnet_cifar(14, batch_size=2)
+        trunk = trunk_nodes(g)
+        # The trunk ends where the first residual branch splits.
+        assert len(trunk) < len(g) / 2
+
+
+class TestRecomputePlan:
+    def test_reduces_footprint(self):
+        g = scaled_vgg(batch_size=8)
+        alloc = StaticAllocator()
+        base = alloc.allocate(build_memory_plan(g).tensors).total_bytes
+        rec = alloc.allocate(build_recompute_plan(g).plan.tensors).total_bytes
+        assert rec < base
+
+    def test_checkpoints_plus_recomputed_cover_trunk_stashes(self):
+        g = scaled_vgg(batch_size=8)
+        plan = build_memory_plan(g)
+        rp = build_recompute_plan(g)
+        from repro.graph.liveness import ROLE_FEATURE_MAP
+        from repro.memory import CLASS_STASHED
+
+        trunk = set(trunk_nodes(g))
+        stashed_trunk = {
+            t.node_id
+            for t in plan.tensors
+            if t.role == ROLE_FEATURE_MAP
+            and plan.classify(t) == CLASS_STASHED
+            and t.node_id in trunk
+        }
+        covered = set(rp.checkpoints) | set(rp.recomputed)
+        assert stashed_trunk == covered
+
+    def test_recomputed_maps_become_immediate(self):
+        g = scaled_vgg(batch_size=8)
+        rp = build_recompute_plan(g)
+        plan = rp.plan
+        names = {t.spec.name: t for t in plan.tensors}
+        for node_id in rp.recomputed:
+            original = names[f"{g.node(node_id).name}.out"]
+            rebuilt = names[f"{g.node(node_id).name}.out.recomp"]
+            assert original.death < plan.schedule.forward_end
+            assert rebuilt.birth >= plan.schedule.forward_end
+
+    def test_extra_flops_counts_whole_segments(self):
+        g = scaled_vgg(batch_size=8)
+        rp = build_recompute_plan(g)
+        # Re-running segments must include conv work, far exceeding the
+        # flops of the (cheap) stashed relu maps themselves.
+        relu_flops = sum(
+            g.node(nid).layer.flops(g.node(nid).input_shapes(g),
+                                    g.node(nid).output_shape)
+            for nid in rp.recomputed
+        )
+        assert rp.extra_forward_flops > relu_flops
+
+    def test_overhead_fraction_positive_and_bounded(self):
+        g = vgg16(batch_size=64)
+        rp = build_recompute_plan(g)
+        ov = rp.overhead_frac(g)
+        assert 0.05 < ov < 0.6  # re-runs most of one forward pass
+
+    def test_segment_length_one_recomputes_nothing(self):
+        g = scaled_vgg(batch_size=8)
+        rp = build_recompute_plan(g, segment_length=1)
+        assert rp.recomputed == ()
+        assert rp.extra_forward_flops == 0
+
+    def test_bad_segment_length(self):
+        with pytest.raises(ValueError):
+            build_recompute_plan(scaled_vgg(batch_size=8), segment_length=0)
+
+    def test_longer_segments_save_more_pay_more(self):
+        g = vgg16(batch_size=8)
+        alloc = StaticAllocator()
+        short = build_recompute_plan(g, segment_length=2)
+        long = build_recompute_plan(g, segment_length=8)
+        short_bytes = alloc.allocate(short.plan.tensors).total_bytes
+        long_bytes = alloc.allocate(long.plan.tensors).total_bytes
+        assert long_bytes <= short_bytes
+        assert long.extra_forward_flops >= short.extra_forward_flops

@@ -1,0 +1,57 @@
+"""Tests for the deeper ImageNet ResNets and structural model properties."""
+
+import pytest
+
+from repro.core import GistConfig, build_gist_plan, classify_all_stashes
+from repro.graph import TrainingSchedule
+from repro.models import build_model, inception, resnet
+
+
+class TestDeepImageNetResnets:
+    def test_resnet101_parameters(self):
+        n = resnet(101, batch_size=1).num_parameters()
+        assert 44_000_000 < n < 45_000_000
+
+    def test_resnet152_parameters(self):
+        n = resnet(152, batch_size=1).num_parameters()
+        assert 60_000_000 < n < 60_500_000
+
+    def test_registry_names(self):
+        for name in ("resnet101", "resnet152"):
+            g = build_model(name, batch_size=1)
+            assert g.node(g.output_id).kind == "loss"
+
+    def test_deeper_means_more_stashes(self):
+        shallow = build_model("resnet50", batch_size=2)
+        deep = build_model("resnet101", batch_size=2)
+        assert len(classify_all_stashes(deep)) > len(classify_all_stashes(shallow))
+
+
+class TestStructuralProperties:
+    def test_inception_module_has_four_branches(self):
+        g = inception(batch_size=1)
+        concat = g.node_by_name("inc3a_out")
+        assert len(concat.inputs) == 4
+
+    def test_every_suite_graph_single_loss(self):
+        from repro.models import PAPER_SUITE
+
+        for name in PAPER_SUITE:
+            g = build_model(name, batch_size=1)
+            losses = [n for n in g.nodes if n.kind == "loss"]
+            assert len(losses) == 1
+
+    def test_gist_plan_covers_deep_resnet(self):
+        g = build_model("resnet101", batch_size=2)
+        plan = build_gist_plan(g, GistConfig.full("fp10"))
+        # Every stashed map got a decision or was deliberately skipped.
+        stashes = classify_all_stashes(g)
+        assert len(plan.decisions) >= 0.9 * len(stashes)
+
+    def test_schedule_scales_linearly(self):
+        g50 = build_model("resnet50", batch_size=1)
+        g101 = build_model("resnet101", batch_size=1)
+        s50 = TrainingSchedule(g50)
+        s101 = TrainingSchedule(g101)
+        assert s101.num_steps > s50.num_steps
+        assert s101.num_steps == 2 * len(g101) - 1

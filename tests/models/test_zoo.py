@@ -1,0 +1,147 @@
+"""Tests for the model zoo: published shapes, parameter counts, structure."""
+
+import pytest
+
+from repro.graph import TrainingSchedule
+from repro.models import (
+    PAPER_SUITE,
+    alexnet,
+    available_models,
+    build_model,
+    inception,
+    nin,
+    overfeat,
+    resnet,
+    resnet_cifar,
+    scaled_alexnet,
+    scaled_vgg,
+    tiny_cnn,
+    vgg16,
+)
+
+
+class TestRegistry:
+    def test_paper_suite_registered(self):
+        for name in PAPER_SUITE:
+            assert name in available_models()
+
+    def test_build_by_name(self):
+        g = build_model("alexnet", batch_size=2)
+        assert g.name == "alexnet"
+        assert g.node(g.input_id).output_shape[0] == 2
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("lenet-9000")
+
+
+class TestPublishedParameterCounts:
+    """Cross-checks against the literature (exactness pins the archs)."""
+
+    def test_alexnet_62m(self):
+        assert alexnet(batch_size=1).num_parameters() == 62_378_344
+
+    def test_vgg16_138m(self):
+        assert vgg16(batch_size=1).num_parameters() == 138_357_544
+
+    def test_resnet50_25m(self):
+        n = resnet(50, batch_size=1).num_parameters()
+        assert 25_500_000 < n < 25_600_000
+
+    def test_inception_7m(self):
+        n = inception(batch_size=1).num_parameters()
+        assert 6_500_000 < n < 7_500_000
+
+    def test_nin_under_8m(self):
+        assert nin(batch_size=1).num_parameters() < 8_000_000
+
+    def test_overfeat_140m_plus(self):
+        assert overfeat(batch_size=1).num_parameters() > 140_000_000
+
+
+class TestShapes:
+    def test_alexnet_conv1(self):
+        g = alexnet(batch_size=4)
+        assert g.node_by_name("conv1").output_shape == (4, 96, 55, 55)
+
+    def test_vgg16_stage_shapes(self):
+        g = vgg16(batch_size=2)
+        assert g.node_by_name("relu1_2").output_shape == (2, 64, 224, 224)
+        assert g.node_by_name("pool5").output_shape == (2, 512, 7, 7)
+
+    def test_inception_concat_channels(self):
+        g = inception(batch_size=2)
+        assert g.node_by_name("inc3a_out").output_shape[1] == 256
+        assert g.node_by_name("inc5b_out").output_shape[1] == 1024
+
+    def test_resnet50_final_spatial(self):
+        g = resnet(50, batch_size=2)
+        assert g.node_by_name("res5c_relu").output_shape == (2, 2048, 7, 7)
+
+    def test_loss_is_output_everywhere(self):
+        for name in PAPER_SUITE:
+            g = build_model(name, batch_size=1)
+            assert g.node(g.output_id).kind == "loss"
+
+    def test_schedules_build(self):
+        for name in PAPER_SUITE:
+            g = build_model(name, batch_size=1)
+            s = TrainingSchedule(g)
+            assert s.num_steps == 2 * len(g) - 1
+
+
+class TestResnetCifar:
+    def test_depth_6n_plus_2_exact(self):
+        g = resnet_cifar(110, batch_size=2)
+        convs = sum(1 for n in g.nodes if n.kind == "conv" and "proj" not in n.name)
+        assert convs == 109  # 108 block convs + conv1 (fc is the 110th layer)
+
+    def test_composable_depths(self):
+        for depth in (509, 851, 1202):
+            g = resnet_cifar(depth, batch_size=1)
+            assert len(g) > depth  # conv+bn+relu per layer
+
+    def test_rejects_tiny_depth(self):
+        with pytest.raises(ValueError):
+            resnet_cifar(4)
+
+    def test_imagenet_rejects_odd_depth(self):
+        with pytest.raises(ValueError):
+            resnet(77)
+
+
+class TestScaledModels:
+    def test_tiny_cnn_structure(self):
+        g = tiny_cnn()
+        kinds = [n.kind for n in g.nodes]
+        assert "maxpool" in kinds and "loss" in kinds
+
+    def test_scaled_vgg_has_both_stash_classes(self):
+        from repro.core import classify_all_stashes, STASH_RELU_CONV, STASH_RELU_POOL
+
+        g = scaled_vgg(batch_size=4)
+        classes = {i.stash_class for i in classify_all_stashes(g).values()}
+        assert STASH_RELU_POOL in classes
+        assert STASH_RELU_CONV in classes
+
+    def test_scaled_alexnet_builds(self):
+        g = scaled_alexnet(batch_size=4)
+        assert g.node(g.output_id).kind == "loss"
+
+
+class TestVGG19:
+    def test_parameters_exact(self):
+        from repro.models import vgg19
+
+        assert vgg19(batch_size=1).num_parameters() == 143_667_240
+
+    def test_registered(self):
+        g = build_model("vgg19", batch_size=2)
+        assert g.node_by_name("conv3_4").output_shape == (2, 256, 56, 56)
+
+    def test_more_stashes_than_vgg16(self):
+        from repro.core import classify_all_stashes
+
+        v16 = build_model("vgg16", batch_size=2)
+        v19 = build_model("vgg19", batch_size=2)
+        assert len(classify_all_stashes(v19)) > len(classify_all_stashes(v16))

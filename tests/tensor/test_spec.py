@@ -1,0 +1,41 @@
+"""Tests for TensorSpec."""
+
+import pytest
+
+from repro.dtypes import BIT1, FP16, FP32
+from repro.tensor import TensorCategory, TensorSpec
+
+
+class TestTensorSpec:
+    def test_elements_and_bytes(self):
+        spec = TensorSpec("t", (64, 3, 224, 224))
+        assert spec.num_elements == 64 * 3 * 224 * 224
+        assert spec.size_bytes == 4 * spec.num_elements
+
+    def test_packed_dtype_bytes(self):
+        spec = TensorSpec("t", (33,), BIT1)
+        assert spec.size_bytes == 8  # two words
+
+    def test_with_dtype_renames(self):
+        spec = TensorSpec("fm", (10, 10))
+        enc = spec.with_dtype(FP16, ".enc")
+        assert enc.name == "fm.enc"
+        assert enc.dtype is FP16
+        assert spec.dtype is FP32  # original untouched
+
+    def test_with_category(self):
+        spec = TensorSpec("fm", (4,))
+        enc = spec.with_category(TensorCategory.ENCODED)
+        assert enc.category is TensorCategory.ENCODED
+        assert spec.category is TensorCategory.FEATURE_MAP
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", ())
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (4, 0))
+
+    def test_str(self):
+        assert "4x2" in str(TensorSpec("t", (4, 2)))

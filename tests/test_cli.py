@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_models_lists_suite(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alexnet", "vgg16", "inception"):
+            assert name in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "tiny_cnn", "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out
+        assert "forward FLOPs" in out
+
+    def test_mfr(self, capsys):
+        assert main(["mfr", "tiny_cnn", "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MFR" in out
+        assert "binarize" in out
+
+    def test_mfr_dynamic_lossless(self, capsys):
+        assert main(
+            ["mfr", "tiny_cnn", "--batch-size", "8", "--config", "lossless",
+             "--dynamic"]
+        ) == 0
+        assert "MFR" in capsys.readouterr().out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "tiny_cnn", "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "stashed_feature_maps" in out
+        assert "relu_pool" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "tiny_cnn", "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "gist overhead" in out
+        assert "vdnn overhead" in out
+
+    def test_train_smoke(self, capsys):
+        assert main(["train", "--policy", "dpr-fp16", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "lenet-9000"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCLITimeline:
+    def test_mfr_timeline(self, capsys):
+        assert main(["mfr", "tiny_cnn", "--batch-size", "8",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out
+        assert "gist:" in out

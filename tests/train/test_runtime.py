@@ -1,0 +1,348 @@
+"""Tests for the training runtime: data, optimizer, executor, policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import GistConfig
+from repro.dtypes import FP8, FP16
+from repro.encodings.floatsim import quantize
+from repro.models import scaled_vgg, tiny_cnn
+from repro.train import (
+    AllFP16Policy,
+    BaselinePolicy,
+    Dataset,
+    GistPolicy,
+    GraphExecutor,
+    SGD,
+    Trainer,
+    UniformReductionPolicy,
+    accuracy,
+    accuracy_loss,
+    make_synthetic,
+    minibatches,
+)
+
+
+class TestData:
+    def test_deterministic(self):
+        a, _ = make_synthetic(64, 4, 8, seed=5)
+        b, _ = make_synthetic(64, 4, 8, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seed_differs(self):
+        a, _ = make_synthetic(64, 4, 8, seed=5)
+        b, _ = make_synthetic(64, 4, 8, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_shapes_and_labels(self):
+        train, test = make_synthetic(100, 5, 12, channels=3, seed=0)
+        assert train.images.shape == (100, 3, 12, 12)
+        assert train.labels.max() < 5
+        assert test.num_samples == 25
+
+    def test_minibatches_cover_epoch(self):
+        data, _ = make_synthetic(64, 4, 8, seed=0)
+        rng = np.random.default_rng(0)
+        batches = list(minibatches(data, 16, rng))
+        assert len(batches) == 4
+        assert all(x.shape[0] == 16 for x, _ in batches)
+
+    def test_minibatches_drop_last(self):
+        data, _ = make_synthetic(60, 4, 8, seed=0)
+        rng = np.random.default_rng(0)
+        assert len(list(minibatches(data, 16, rng))) == 3
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 1, 2, 2), np.float32), np.zeros(4, np.int64))
+
+    def test_batch_size_validation(self):
+        data, _ = make_synthetic(16, 2, 8, seed=0)
+        with pytest.raises(ValueError):
+            list(minibatches(data, 0, np.random.default_rng(0)))
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        opt = SGD(lr=0.1, momentum=0.0)
+        params = {"w": np.array([1.0, 2.0], np.float32)}
+        opt.step(params, {"w": np.array([1.0, 1.0], np.float32)})
+        np.testing.assert_allclose(params["w"], [0.9, 1.9])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.5)
+        params = {"w": np.zeros(1, np.float32)}
+        g = {"w": np.ones(1, np.float32)}
+        opt.step(params, g)   # v=1, w=-0.1
+        opt.step(params, g)   # v=1.5, w=-0.25
+        np.testing.assert_allclose(params["w"], [-0.25])
+
+    def test_updates_in_place(self):
+        opt = SGD(lr=0.1)
+        w = np.ones(2, np.float32)
+        params = {"w": w}
+        opt.step(params, {"w": np.ones(2, np.float32)})
+        assert params["w"] is w  # same buffer
+
+    def test_weight_decay(self):
+        opt = SGD(lr=0.1, momentum=0.0, weight_decay=0.1)
+        params = {"w": np.array([1.0], np.float32)}
+        opt.step(params, {"w": np.zeros(1, np.float32)})
+        np.testing.assert_allclose(params["w"], [0.99])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(KeyError):
+            SGD().step({}, {"w": np.zeros(1)})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+
+
+class TestExecutor:
+    def test_loss_decreases(self):
+        g = tiny_cnn(batch_size=8, num_classes=3, image_size=8)
+        train, _ = make_synthetic(64, 3, 8, seed=2)
+        ex = GraphExecutor(g, seed=0)
+        opt = SGD(lr=0.05)
+        params = ex.parameters()
+        first = last = None
+        for _ in range(10):
+            loss = ex.forward(train.images[:8], train.labels[:8])
+            grads = ex.backward()
+            opt.step(params, grads)
+            first = first if first is not None else loss
+            last = loss
+        assert last < first
+
+    def test_shape_mismatch_rejected(self):
+        g = tiny_cnn(batch_size=8)
+        ex = GraphExecutor(g)
+        with pytest.raises(ValueError):
+            ex.forward(np.zeros((4, 3, 8, 8), np.float32), np.zeros(4, np.int64))
+
+    def test_backward_before_forward_rejected(self):
+        ex = GraphExecutor(tiny_cnn(batch_size=8))
+        with pytest.raises(RuntimeError):
+            ex.backward()
+
+    def test_gradients_cover_all_params(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        ex = GraphExecutor(g)
+        ex.forward(train.images[:8], train.labels[:8])
+        grads = ex.backward()
+        assert set(grads) == set(ex.parameters())
+
+    def test_non_loss_output_rejected(self):
+        from repro.graph import GraphBuilder
+        from repro.layers import ReLU
+
+        b = GraphBuilder("g", (2, 3, 4, 4))
+        b.add(ReLU(), b.input)
+        with pytest.raises(ValueError):
+            GraphExecutor(b.build())
+
+    def test_predict_returns_logits(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        logits = GraphExecutor(g).predict(train.images[:8])
+        assert logits.shape == (8, 4)
+
+    def test_sparsity_tracked_for_relus(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        ex = GraphExecutor(g)
+        ex.forward(train.images[:8], train.labels[:8])
+        assert "relu1" in ex.last_sparsity
+        assert 0.0 <= ex.last_sparsity["relu1"] <= 1.0
+
+    def test_stash_bytes_measured(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        ex = GraphExecutor(g, GistPolicy(g, GistConfig(dpr_format="fp8")))
+        ex.forward(train.images[:8], train.labels[:8])
+        nbytes = ex.stash_bytes()
+        relu1 = g.node_by_name("relu1")
+        full = 4
+        for d in relu1.output_shape:
+            full *= d
+        assert nbytes["relu1"] == full // 32  # binarized
+
+
+class TestPolicyEquivalence:
+    """Lossless Gist must produce bit-identical gradients to the baseline."""
+
+    def test_lossless_gist_gradients_identical(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+
+        base = GraphExecutor(g, BaselinePolicy(), seed=0)
+        base.forward(images, labels)
+        base_grads = base.backward()
+
+        gist = GraphExecutor(g, GistPolicy(g, GistConfig.lossless()), seed=0)
+        gist.forward(images, labels)
+        gist_grads = gist.backward()
+
+        assert set(base_grads) == set(gist_grads)
+        for name in base_grads:
+            np.testing.assert_array_equal(
+                base_grads[name], gist_grads[name],
+                err_msg=f"lossless Gist changed gradient {name!r}",
+            )
+
+    def test_dpr_gist_gradients_close_but_not_identical(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+
+        base = GraphExecutor(g, BaselinePolicy(), seed=0)
+        base.forward(images, labels)
+        base_grads = base.backward()
+
+        lossy = GraphExecutor(
+            g, GistPolicy(g, GistConfig(dpr_format="fp8")), seed=0
+        )
+        lossy.forward(images, labels)
+        lossy_grads = lossy.backward()
+
+        some_differ = False
+        for name in base_grads:
+            scale = np.abs(base_grads[name]).max() + 1e-8
+            assert np.abs(lossy_grads[name] - base_grads[name]).max() < 0.3 * scale
+            if not np.array_equal(lossy_grads[name], base_grads[name]):
+                some_differ = True
+        assert some_differ  # FP8 must actually inject error somewhere
+
+    def test_dpr_forward_loss_unchanged(self):
+        """DPR is *delayed*: the forward pass must be exactly FP32."""
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+        base_loss = GraphExecutor(g, BaselinePolicy(), seed=0).forward(
+            images, labels
+        )
+        dpr_loss = GraphExecutor(
+            g, GistPolicy(g, GistConfig(dpr_format="fp8")), seed=0
+        ).forward(images, labels)
+        assert base_loss == dpr_loss
+
+    def test_uniform_policy_changes_forward(self):
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+        base_loss = GraphExecutor(g, BaselinePolicy(), seed=0).forward(
+            images, labels
+        )
+        uni_loss = GraphExecutor(
+            g, UniformReductionPolicy(FP8), seed=0
+        ).forward(images, labels)
+        assert base_loss != uni_loss
+
+    def test_allfp16_policy_is_fp16(self):
+        policy = AllFP16Policy()
+        assert policy.dtype is FP16
+        node = tiny_cnn().node_by_name("conv1")
+        y = np.array([1.0 + 2**-12], dtype=np.float32)
+        np.testing.assert_array_equal(
+            policy.transform_forward(y, node), quantize(y, FP16)
+        )
+
+
+class TestTrainer:
+    def test_baseline_learns(self):
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(256, 4, 8, seed=1)
+        result = Trainer(g, seed=0).train(train, test, epochs=3)
+        assert result.final_accuracy > 0.8
+        assert len(result.epoch_losses) == 3
+
+    def test_deterministic_given_seed(self):
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(128, 4, 8, seed=1)
+        r1 = Trainer(g, seed=3).train(train, test, epochs=2)
+        r2 = Trainer(g, seed=3).train(train, test, epochs=2)
+        assert r1.epoch_losses == r2.epoch_losses
+
+    def test_sparsity_sampling(self):
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(128, 4, 8, seed=1)
+        result = Trainer(g, seed=0).train(train, test, epochs=1,
+                                          sparsity_every=2)
+        assert result.sparsity_samples
+        sample = result.sparsity_samples[0]
+        assert "relu1" in sample.sparsity
+
+    def test_accuracy_loss_curve(self):
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(128, 4, 8, seed=1)
+        result = Trainer(g, seed=0).train(train, test, epochs=2)
+        for acc, loss in zip(result.test_accuracy, result.accuracy_loss_curve):
+            assert loss == pytest.approx(1.0 - acc)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1, 0], [0, 1], [2, 1]], np.float32)
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_accuracy_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros(3, np.int64))
+
+    def test_accuracy_loss(self):
+        assert accuracy_loss(0.78) == pytest.approx(0.22)
+        with pytest.raises(ValueError):
+            accuracy_loss(1.5)
+
+
+class TestGradientOnlyPolicy:
+    def test_forward_untouched(self):
+        from repro.train import GradientOnlyReductionPolicy
+
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+        base = GraphExecutor(g, BaselinePolicy(), seed=0).forward(images, labels)
+        grad_only = GraphExecutor(
+            g, GradientOnlyReductionPolicy(FP8), seed=0
+        ).forward(images, labels)
+        assert base == grad_only
+
+    def test_gradients_are_quantized(self):
+        from repro.train import GradientOnlyReductionPolicy
+
+        g = tiny_cnn(batch_size=8, num_classes=4)
+        train, _ = make_synthetic(32, 4, 8, seed=2)
+        images, labels = train.images[:8], train.labels[:8]
+
+        base_ex = GraphExecutor(g, BaselinePolicy(), seed=0)
+        base_ex.forward(images, labels)
+        base = base_ex.backward()
+
+        go_ex = GraphExecutor(g, GradientOnlyReductionPolicy(FP8), seed=0)
+        go_ex.forward(images, labels)
+        reduced = go_ex.backward()
+
+        some_differ = any(
+            not np.array_equal(base[k], reduced[k]) for k in base
+        )
+        assert some_differ
+
+    def test_training_survives_grad_fp16(self):
+        """The paper's Section III-B claim: gradient-map-only reduction
+        does not affect accuracy."""
+        from repro.train import GradientOnlyReductionPolicy
+
+        g = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+        train, test = make_synthetic(256, 4, 8, seed=1)
+        result = Trainer(g, GradientOnlyReductionPolicy(FP16), seed=0).train(
+            train, test, epochs=3
+        )
+        assert result.final_accuracy > 0.8
