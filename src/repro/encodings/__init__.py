@@ -40,6 +40,7 @@ from repro.encodings.ssdc import (
     csr_bytes,
     csr_decode,
     csr_encode,
+    csr_positions,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "csr_bytes",
     "csr_decode",
     "csr_encode",
+    "csr_positions",
     "decode_minifloat",
     "dpr_encoding",
     "encode_minifloat",

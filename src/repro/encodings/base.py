@@ -30,6 +30,20 @@ class Encoding(abc.ABC):
     name: str = "encoding"
     #: Whether the backward pass sees bit-identical information.
     lossless: bool = True
+    #: Optional workspace arena the runtime codec rents buffers from
+    #: (set by the executor via :meth:`bind_arena`; ``None`` means every
+    #: encode allocates fresh memory).
+    arena = None
+
+    def bind_arena(self, arena) -> None:
+        """Attach (or detach, with ``None``) a workspace arena.
+
+        The executor binds its per-instance arena before each stash so
+        the codec fast paths write into pooled buffers.  Rented buffers
+        live until the arena's next ``reset`` — one training step —
+        which matches a stash's encode-to-decode lifetime.
+        """
+        self.arena = arena
 
     @abc.abstractmethod
     def encoded_bytes(self, num_elements: int, **ctx) -> int:
@@ -61,8 +75,8 @@ class IdentityEncoding(Encoding):
     name = "identity"
     lossless = True
 
-    def encoded_bytes(self, num_elements: int, **ctx) -> int:
-        return 4 * num_elements
+    def encoded_bytes(self, num_elements: int, itemsize: int = 4, **ctx) -> int:
+        return itemsize * num_elements
 
     def encode(self, x: np.ndarray) -> np.ndarray:
         return x
@@ -71,4 +85,6 @@ class IdentityEncoding(Encoding):
         return encoded
 
     def measure_bytes(self, encoded: np.ndarray) -> int:
-        return encoded.size * 4
+        # The stash is the array itself, so its true byte count is just
+        # nbytes — correct for FP16 or integer stashes too, not only FP32.
+        return int(encoded.nbytes)

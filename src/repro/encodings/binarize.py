@@ -23,35 +23,55 @@ from repro.dtypes import BIT1, NIBBLE4
 from repro.encodings.base import Encoding
 
 
-def pack_bits(mask: np.ndarray) -> np.ndarray:
-    """Pack a boolean array into uint32 words, 32 values per word."""
+def pack_bits(mask: np.ndarray, arena=None) -> np.ndarray:
+    """Pack a boolean array into uint32 words, 32 values per word.
+
+    With an ``arena`` the padded word buffer is rented instead of
+    allocated, and in either case the words are written directly into
+    the final buffer — no concatenate/copy chain.
+    """
     flat = np.asarray(mask, dtype=bool).ravel()
-    bits = np.packbits(flat, bitorder="little")
-    pad = (-bits.size) % 4
-    if pad:
-        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
-    return bits.view(np.uint32)
+    n = flat.size
+    nbytes_padded = 4 * ((n + 31) // 32)
+    if arena is not None:
+        buf = arena.rent((nbytes_padded,), np.uint8)
+    else:
+        buf = np.zeros(nbytes_padded, dtype=np.uint8)
+    packed = np.packbits(flat, bitorder="little")
+    buf[: packed.size] = packed
+    if arena is not None:
+        buf[packed.size:] = 0  # rented buffers arrive uninitialised
+    return buf.view(np.uint32)
 
 
 def unpack_bits(words: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Inverse of :func:`pack_bits`; returns a boolean array of ``shape``."""
     n = int(np.prod(shape))
     bits = np.unpackbits(words.view(np.uint8), count=n, bitorder="little")
-    return bits.astype(bool).reshape(shape)
+    # unpackbits yields fresh 0/1 uint8 storage, so a bool view is free.
+    return bits.view(bool).reshape(shape)
 
 
-def pack_nibbles(values: np.ndarray) -> np.ndarray:
+def pack_nibbles(values: np.ndarray, arena=None) -> np.ndarray:
     """Pack 0..15 integers into uint32 words, 8 values per word."""
-    flat = np.asarray(values).ravel().astype(np.uint8)
+    flat = np.asarray(values).ravel()
+    if flat.dtype != np.uint8:
+        flat = flat.astype(np.uint8)
     if flat.size and flat.max() > 15:
         raise ValueError("nibble packing requires values in [0, 15]")
-    if flat.size % 2:
-        flat = np.concatenate([flat, np.zeros(1, dtype=np.uint8)])
-    paired = (flat[0::2] | (flat[1::2] << 4)).astype(np.uint8)
-    pad = (-paired.size) % 4
-    if pad:
-        paired = np.concatenate([paired, np.zeros(pad, dtype=np.uint8)])
-    return paired.view(np.uint32)
+    n = flat.size
+    npairs = (n + 1) // 2
+    nbytes_padded = 4 * ((npairs + 3) // 4)
+    if arena is not None:
+        buf = arena.rent((nbytes_padded,), np.uint8)
+        buf[npairs:] = 0
+    else:
+        buf = np.zeros(nbytes_padded, dtype=np.uint8)
+    buf[:npairs] = flat[0::2]
+    half = n // 2
+    if half:
+        buf[:half] |= flat[1::2] << np.uint8(4)
+    return buf.view(np.uint32)
 
 
 def unpack_nibbles(words: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -95,6 +115,12 @@ class BinarizeEncoding(Encoding):
         return BIT1.size_bytes(num_elements)
 
     def encode(self, x: np.ndarray) -> BinarizedTensor:
+        if self.arena is not None:
+            mask = self.arena.rent(x.shape, np.bool_)
+            np.greater(x, 0, out=mask)
+            words = pack_bits(mask, arena=self.arena)
+            self.arena.release(mask)
+            return BinarizedTensor(words, tuple(x.shape))
         return BinarizedTensor(pack_bits(x > 0), tuple(x.shape))
 
     def decode(self, encoded: BinarizedTensor) -> np.ndarray:

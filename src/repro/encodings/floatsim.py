@@ -52,48 +52,55 @@ def encode_minifloat(x: np.ndarray, dtype: DType, rounding: str = "nearest") -> 
     bias = dtype.exponent_bias
     x = np.asarray(x, dtype=np.float32)
 
+    # The whole pipeline stays in float32/int32: every intermediate
+    # (frexp output, 1.f remainder, the scaled mantissa f * 2**mb) is
+    # exactly representable in float32, so the codes are bit-for-bit the
+    # ones the original float64 formulation produced, at half the memory
+    # traffic and with in-place ops instead of fresh temporaries.
     sign = (np.signbit(x)).astype(np.uint32)
-    mag = np.abs(x.astype(np.float64))
+    mag = np.abs(x)
     # NaNs have no meaning in feature maps; map them to zero for safety.
-    mag = np.where(np.isnan(mag), 0.0, mag)
+    mag[np.isnan(mag)] = 0.0
     # Clamp overflow at the largest finite magnitude (paper: "the value is
     # clamped at maximum/minimum value").
-    mag = np.minimum(mag, dtype.max_finite)
+    np.minimum(mag, np.float32(dtype.max_finite), out=mag)
 
     with np.errstate(divide="ignore"):
         frac, exp = np.frexp(mag)  # mag == frac * 2**exp, frac in [0.5, 1)
-    # Re-normalise to 1.f * 2**e form.
-    e = exp - 1
-    f = frac * 2.0 - 1.0  # in [0, 1)
-    scaled = f * (1 << mb)
+    # Re-normalise to 1.f * 2**e form: scaled = (frac*2 - 1) * 2**mb,
+    # computed in place (frac is owned and each step is exact).
+    frac *= np.float32(2.0)
+    frac -= np.float32(1.0)
+    frac *= np.float32(1 << mb)
     if rounding == "nearest":
-        mant = np.rint(scaled)
+        mant = np.rint(frac).astype(np.int32)
     else:
-        mant = np.floor(scaled)
+        mant = np.floor(frac).astype(np.int32)
     # Mantissa overflow carries into the exponent.
     carry = mant >= (1 << mb)
-    mant = np.where(carry, 0.0, mant)
-    e = e + carry.astype(np.int64)
-    biased = e + bias
+    mant[carry] = 0
+    biased = exp  # frexp's exponent array, owned: reuse for e + bias
+    biased += np.int32(bias - 1)
+    biased += carry
     # After the carry the magnitude may exceed max_finite: clamp the code.
     # The all-ones exponent is reserved (IEEE convention), so the largest
     # usable biased exponent is 2**eb - 2.
     max_biased = (1 << eb) - 2
     over = biased > max_biased
-    biased = np.where(over, max_biased, biased)
-    mant = np.where(over, (1 << mb) - 1, mant)
+    biased[over] = max_biased
+    mant[over] = (1 << mb) - 1
     # Denormals (biased exponent < 1) flush to zero; so does exact zero.
-    zero = (biased < 1) | (mag == 0.0)
-    biased = np.where(zero, 0, biased)
-    mant = np.where(zero, 0, mant)
-    sign = np.where(zero, 0, sign).astype(np.uint32)
+    zero = biased < 1
+    zero |= mag == 0.0
+    biased[zero] = 0
+    mant[zero] = 0
+    sign[zero] = 0
 
-    code = (
-        (sign << np.uint32(eb + mb))
-        | (biased.astype(np.uint32) << np.uint32(mb))
-        | mant.astype(np.uint32)
-    )
-    return code.astype(np.uint32)
+    code = sign
+    code <<= np.uint32(eb + mb)
+    code |= biased.astype(np.uint32) << np.uint32(mb)
+    code |= mant.astype(np.uint32)
+    return code
 
 
 def decode_minifloat(codes: np.ndarray, dtype: DType) -> np.ndarray:
@@ -105,12 +112,16 @@ def decode_minifloat(codes: np.ndarray, dtype: DType) -> np.ndarray:
     sign = (codes >> np.uint32(eb + mb)) & np.uint32(1)
     biased = (codes >> np.uint32(mb)) & np.uint32((1 << eb) - 1)
     mant = codes & np.uint32((1 << mb) - 1)
-    value = (1.0 + mant.astype(np.float64) / (1 << mb)) * np.exp2(
-        biased.astype(np.float64) - bias
-    )
-    value = np.where(biased == 0, 0.0, value)
-    value = np.where(sign == 1, -value, value)
-    return value.astype(np.float32)
+    # 1.f * 2**e evaluated in float32: the fraction has mb <= 10 bits and
+    # every decoded value is a normal float32, so ldexp is exact and the
+    # result matches the original float64 formulation bit-for-bit.
+    frac = mant.astype(np.float32)
+    frac *= np.float32(1.0 / (1 << mb))
+    frac += np.float32(1.0)
+    value = np.ldexp(frac, biased.astype(np.int32) - np.int32(bias))
+    value[biased == 0] = 0.0
+    np.negative(value, out=value, where=sign == 1)
+    return value
 
 
 def quantize(x: np.ndarray, dtype: DType, rounding: str = "nearest") -> np.ndarray:

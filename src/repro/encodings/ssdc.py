@@ -17,7 +17,7 @@ the format-choice ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
@@ -46,6 +46,13 @@ class CSRTensor:
     row_ptr: np.ndarray
     shape: Tuple[int, ...]
     cols: int
+    #: Cached flat nonzero positions (``rows * cols + col_idx``).  The
+    #: encoder knows them for free; decoders cache them here so repeated
+    #: backward reads never recompute the row expansion.  A runtime-only
+    #: derived quantity: excluded from equality and not charged to nbytes.
+    positions: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def nnz(self) -> int:
@@ -83,8 +90,8 @@ def csr_encode(
     n_rows = max(1, -(-n // cols))
     row_ptr = np.zeros(n_rows + 1, dtype=np.int32)
     nz_flat = np.flatnonzero(flat)
-    rows = nz_flat // cols
-    col_positions = (nz_flat % cols).astype(
+    rows, col_positions = np.divmod(nz_flat, cols)
+    col_positions = col_positions.astype(
         np.uint8 if cols <= 256 else np.int32
     )
     counts = np.bincount(rows, minlength=n_rows)
@@ -96,16 +103,27 @@ def csr_encode(
         codes = encode_minifloat(raw_values, value_dtype)
         values = DPRTensor(pack_codes(codes, value_dtype),
                            (raw_values.size,), value_dtype)
-    return CSRTensor(values, col_positions, row_ptr, tuple(x.shape), cols)
+    return CSRTensor(values, col_positions, row_ptr, tuple(x.shape), cols,
+                     positions=nz_flat)
+
+
+def csr_positions(enc: CSRTensor) -> np.ndarray:
+    """Flat dense positions of the stored non-zeros (cached on ``enc``)."""
+    positions = enc.positions
+    if positions is None:
+        counts = np.diff(enc.row_ptr)
+        rows = np.repeat(np.arange(counts.size), counts)
+        positions = (rows.astype(np.int64) * enc.cols
+                     + enc.col_idx.astype(np.int64))
+        object.__setattr__(enc, "positions", positions)
+    return positions
 
 
 def csr_decode(enc: CSRTensor) -> np.ndarray:
     """Reconstruct the dense array from CSR (dense compute side of SSDC)."""
     n = int(np.prod(enc.shape))
     flat = np.zeros(n, dtype=np.float32)
-    counts = np.diff(enc.row_ptr)
-    rows = np.repeat(np.arange(counts.size), counts)
-    positions = rows.astype(np.int64) * enc.cols + enc.col_idx.astype(np.int64)
+    positions = csr_positions(enc)
     if isinstance(enc.values, DPRTensor):
         nnz = enc.nnz
         codes = unpack_codes(enc.values.words, nnz, enc.values.dtype)

@@ -1,0 +1,37 @@
+"""Shape-static runtime kernel layer: plan cache + workspace arena.
+
+The training graph never changes shape between iterations, so all index
+arithmetic for the conv/pool lowering is done once (:mod:`.plan`) and
+all scratch buffers are pooled per executor (:mod:`.arena`).  The global
+on/off switch lives in :mod:`.config` (env var ``REPRO_KERNEL_PLANS``);
+disabling it restores the original per-call Python-loop kernels for A/B
+verification.  See the "Runtime kernel layer" section of
+``docs/architecture.md``.
+"""
+
+from repro.kernels.arena import NULL_ARENA, WorkspaceArena
+from repro.kernels.config import (
+    plans_enabled,
+    plans_override,
+    resolve_kernel_state,
+    set_plans_enabled,
+)
+from repro.kernels.plan import (
+    KernelPlan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+)
+
+__all__ = [
+    "KernelPlan",
+    "NULL_ARENA",
+    "WorkspaceArena",
+    "clear_plan_cache",
+    "get_plan",
+    "plan_cache_stats",
+    "plans_enabled",
+    "plans_override",
+    "resolve_kernel_state",
+    "set_plans_enabled",
+]

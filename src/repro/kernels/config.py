@@ -1,0 +1,63 @@
+"""Global switch for the shape-static kernel plan layer.
+
+The plan cache + workspace arena are on by default; set the environment
+variable ``REPRO_KERNEL_PLANS=0`` (or call :func:`set_plans_enabled`)
+to fall back to the original per-call Python-loop kernels.  The switch
+exists so the two implementations can be A/B-verified against each
+other — the executor also takes a per-instance ``use_kernel_plans``
+constructor argument for side-by-side comparisons in one process.
+
+This module is import-cycle-free on purpose: layers import it directly
+(``repro.kernels.config``) while the heavier plan machinery imports the
+layer helpers.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+_FALSEY = ("0", "false", "off", "no")
+
+_enabled: bool = (
+    os.environ.get("REPRO_KERNEL_PLANS", "1").strip().lower() not in _FALSEY
+)
+
+
+def plans_enabled() -> bool:
+    """Whether the shape-static kernel plans are globally enabled."""
+    return _enabled
+
+
+def set_plans_enabled(flag: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def plans_override(flag: bool):
+    """Temporarily force the global switch (for A/B tests)."""
+    previous = set_plans_enabled(flag)
+    try:
+        yield
+    finally:
+        set_plans_enabled(previous)
+
+
+def resolve_kernel_state(ctx) -> Tuple[bool, Optional[object]]:
+    """Resolve (enabled, arena) for a layer call.
+
+    An executor-provided :class:`~repro.layers.base.OpContext` may carry
+    ``kernels_enabled`` and ``arena`` attributes; standalone contexts
+    (gradient-check harness, ``ctx=None`` inference) fall back to the
+    global switch and a fresh-allocation arena.
+    """
+    enabled = getattr(ctx, "kernels_enabled", None)
+    if enabled is None:
+        enabled = _enabled
+    arena = getattr(ctx, "arena", None) if enabled else None
+    return bool(enabled), arena

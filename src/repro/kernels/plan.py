@@ -1,0 +1,438 @@
+"""Shape-static kernel plans for the conv/pool lowering.
+
+Gist's Schedule Builder exploits the fact that a training graph is
+static: all analysis happens once and every iteration replays the same
+plan.  This module applies the same idea to the NumPy *compute* kernels.
+A :class:`KernelPlan` is built once per ``(input_shape, kh, kw, stride,
+pad)`` signature and precomputes the flat gather/scatter geometry so the
+per-iteration kernels contain no Python loops at all:
+
+* ``im2col`` becomes a single C-level copy through a precomputed
+  six-axis strided *window view* of the padded input — one structured
+  gather covering all ``kh*kw`` slots at once;
+* ``col2im`` writes the column gradient through a precomputed strided
+  *slot view* of an ``(N, kh*kw, C*HP*WP)`` workspace (each window slot
+  lands in its own plane, so no two writes collide) and then reduces
+  over the slot axis;
+* max-pool's backward pass scatters through precomputed flat indices —
+  the plan caches the per-channel window-corner offsets, so the
+  per-step work is three integer ops and one 1-D ``np.add.at``.
+
+Accumulation order is chosen so the per-element floating-point sums are
+*identical* to the reference Python-loop kernels: ``col2im`` reduces
+slots in ``(ki, kj)`` ascending order (the reference's loop order) and
+the flat pool scatter applies duplicates in the same element order as
+the reference's multi-index ``np.add.at``.  The planned kernels are
+therefore bit-identical to the unplanned ones, not merely close — the
+property tests assert this.
+
+Plans are cached process-wide; :func:`clear_plan_cache` empties the
+cache and :func:`plan_cache_stats` reports hit/miss counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.kernels.arena import NULL_ARENA, WorkspaceArena
+from repro.layers.im2col import conv_output_hw
+
+Shape4 = Tuple[int, int, int, int]
+
+
+class KernelPlan:
+    """Precomputed gather/scatter geometry for one conv/pool signature."""
+
+    def __init__(self, shape: Shape4, kh: int, kw: int, stride: int, pad: int):
+        n, c, h, w = (int(d) for d in shape)
+        oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+        self.shape: Shape4 = (n, c, h, w)
+        self.kh, self.kw = int(kh), int(kw)
+        self.stride, self.pad = int(stride), int(pad)
+        self.oh, self.ow = oh, ow
+        self.hp, self.wp = h + 2 * pad, w + 2 * pad
+        #: S window slots, K column rows, P output positions, Q padded cells.
+        self.S = self.kh * self.kw
+        self.K = c * self.S
+        self.P = oh * ow
+        self.Q = c * self.hp * self.wp
+        self._pool_base: Optional[np.ndarray] = None
+        self._batch_offsets: Optional[np.ndarray] = None
+        # Plan-owned persistent workspaces (see _padded / col2im): their
+        # static cells are initialised exactly once, per dtype signature.
+        self._pad_ws: Dict[Tuple[np.dtype, float], np.ndarray] = {}
+        self._slot_ws: Dict[np.dtype, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # One-time geometry (never on the per-step hot path)
+    # ------------------------------------------------------------------
+    def _window_view(self, xp: np.ndarray) -> np.ndarray:
+        """(N, C, kh, kw, OH, OW) read view of the padded input.
+
+        ``view[n, c, ki, kj, oy, ox] == xp[n, c, ki + oy*stride,
+        kj + ox*stride]`` — copying it out materialises the full column
+        matrix in one strided pass.
+        """
+        n, c, _, _ = self.shape
+        it = xp.itemsize
+        return as_strided(
+            xp,
+            (n, c, self.kh, self.kw, self.oh, self.ow),
+            (
+                c * self.hp * self.wp * it,
+                self.hp * self.wp * it,
+                self.wp * it,
+                it,
+                self.stride * self.wp * it,
+                self.stride * it,
+            ),
+        )
+
+    def _slot_view(self, g: np.ndarray) -> np.ndarray:
+        """(N, C, kh, kw, OH, OW) write view into the (N, S, Q) workspace.
+
+        Element ``[n, c, ki, kj, oy, ox]`` aliases ``g[n, ki*kw + kj,
+        flat(c, ki + oy*stride, kj + ox*stride)]`` — every column-matrix
+        entry lands in its own slot plane at the padded-input cell it
+        came from, so the strided write never self-collides and the slot
+        axis holds exactly the per-slot partial sums of ``col2im``.
+        """
+        it = g.itemsize
+        n, c, _, _ = self.shape
+        return as_strided(
+            g,
+            (n, c, self.kh, self.kw, self.oh, self.ow),
+            (
+                self.S * self.Q * it,
+                self.hp * self.wp * it,
+                (self.kw * self.Q + self.wp) * it,
+                (self.Q + 1) * it,
+                self.stride * self.wp * it,
+                self.stride * it,
+            ),
+        )
+
+    @property
+    def pool_base(self) -> np.ndarray:
+        """(C*P,) flat padded index of every pool window's top-left cell."""
+        if self._pool_base is None:
+            c = self.shape[1]
+            corner = (
+                (np.arange(self.oh) * self.stride)[:, None] * self.wp
+                + np.arange(self.ow) * self.stride
+            ).ravel()
+            self._pool_base = np.ascontiguousarray(
+                (
+                    np.arange(c)[:, None] * (self.hp * self.wp)
+                    + corner[None, :]
+                ).reshape(c * self.P),
+                dtype=np.intp,
+            )
+        return self._pool_base
+
+    @property
+    def batch_offsets(self) -> np.ndarray:
+        """(N, 1) flat offsets of each sample in an (N, Q) buffer."""
+        if self._batch_offsets is None:
+            n = self.shape[0]
+            self._batch_offsets = (np.arange(n, dtype=np.intp) * self.Q)[
+                :, None
+            ]
+        return self._batch_offsets
+
+    # ------------------------------------------------------------------
+    # Per-step kernels: no Python loops, arena-rented workspaces
+    # ------------------------------------------------------------------
+    def _padded(self, x: np.ndarray, pad_value: float) -> np.ndarray:
+        """Pad into the plan's persistent padded workspace.
+
+        The border carries the same ``pad_value`` on every call, so it is
+        written exactly once per ``(dtype, pad_value)``; each call only
+        copies the interior.  The buffer never escapes this module — the
+        kernels copy out of it before returning.
+
+        The result is always C-contiguous: :meth:`_window_view` builds its
+        strides from the shape alone, so a non-contiguous input (e.g. an
+        einsum output that is a transposed view) must be compacted first.
+        """
+        if self.pad == 0:
+            return np.ascontiguousarray(x)
+        n, c, h, w = self.shape
+        pad = self.pad
+        key = (np.dtype(x.dtype), float(pad_value))
+        xp = self._pad_ws.get(key)
+        if xp is None:
+            xp = np.full((n, c, self.hp, self.wp), pad_value, dtype=x.dtype)
+            self._pad_ws[key] = xp
+        xp[:, :, pad:pad + h, pad:pad + w] = x
+        return xp
+
+    def im2col(
+        self,
+        x: np.ndarray,
+        arena: Optional[WorkspaceArena] = None,
+        pad_value: float = 0.0,
+    ) -> np.ndarray:
+        """Unfold ``x`` into columns (N, C*kh*kw, OH*OW) in one copy.
+
+        The returned buffer is rented from ``arena``; the caller owns it
+        and should ``release`` it once the columns are dead.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, _, _ = self.shape
+        src = self._padded(x, pad_value)
+        out = arena.rent((n, self.K, self.P), x.dtype)
+        out6 = out.reshape(n, c, self.kh, self.kw, self.oh, self.ow)
+        np.copyto(out6, self._window_view(src))
+        return out
+
+    def col2im(
+        self, cols: np.ndarray, arena: Optional[WorkspaceArena] = None
+    ) -> np.ndarray:
+        """Adjoint of :meth:`im2col`: strided slot scatter + slot sum.
+
+        Returns an (N, C, H, W) array backed by an arena buffer (a view of
+        one when ``pad > 0``); the caller owns it until the next reset.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, h, w = self.shape
+        cols6 = np.ascontiguousarray(cols).reshape(
+            n, c, self.kh, self.kw, self.oh, self.ow
+        )
+        # The slot planes cover the same static cell set on every call,
+        # so the never-covered cells only need zeroing once — the
+        # persistent workspace replaces a per-step fill of S*Q elements.
+        dt = np.dtype(cols.dtype)
+        g = self._slot_ws.get(dt)
+        if g is None:
+            g = np.zeros((n, self.S, self.Q), dtype=dt)
+            self._slot_ws[dt] = g
+        np.copyto(self._slot_view(g), cols6)
+        out = arena.rent((n, self.Q), cols.dtype)
+        g.sum(axis=1, out=out)
+        x4 = out.reshape(n, c, self.hp, self.wp)
+        if self.pad:
+            x4 = x4[:, :, self.pad:self.pad + h, self.pad:self.pad + w]
+        return x4
+
+    def maxpool_forward(
+        self, x: np.ndarray, arena: Optional[WorkspaceArena] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Max-pool ``x``, returning ``(y, argmax)``.
+
+        ``argmax`` holds the window-local winner index per output element
+        (uint8, the Y-to-X map of the Binarize rewrite).  When windows
+        tile the input exactly (stride == kernel, no padding — the common
+        VGG configuration, known statically from the plan) the slot axis
+        is materialised by one reshape/transpose copy instead of the full
+        im2col gather.  Ties, values and winner indices are bit-identical
+        to the reference formulation either way: the slots are compared
+        in the same ``(ki, kj)`` order.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, h, w = self.shape
+        disjoint = (
+            self.pad == 0
+            and self.stride == self.kh == self.kw
+            and h == self.oh * self.kh
+            and w == self.ow * self.kw
+        )
+        if disjoint:
+            rented = arena.rent((n, c, self.P, self.S), x.dtype)
+            v = x.reshape(n, c, self.oh, self.kh, self.ow, self.kw)
+            cols = rented.reshape(n, c, self.oh, self.ow, self.kh, self.kw)
+            np.copyto(cols, v.transpose(0, 1, 2, 4, 3, 5))
+            cols = rented
+            argmax = cols.argmax(axis=3).astype(np.uint8)
+            y = np.take_along_axis(
+                cols, argmax[:, :, :, None].astype(np.intp), axis=3
+            )[:, :, :, 0]
+        else:
+            rented = self.im2col(x, arena, pad_value=-np.inf)
+            cols = rented.reshape(n, c, self.S, self.P)
+            argmax = cols.argmax(axis=2).astype(np.uint8)
+            y = np.take_along_axis(
+                cols, argmax[:, :, None, :].astype(np.intp), axis=2
+            )[:, :, 0, :]
+        arena.release(rented)
+        y = y.reshape(n, c, self.oh, self.ow)
+        return y.astype(np.float32, copy=False), argmax.reshape(
+            n, c, self.oh, self.ow
+        )
+
+    def maxpool_backward(
+        self,
+        argmax: np.ndarray,
+        dy: np.ndarray,
+        arena: Optional[WorkspaceArena] = None,
+    ) -> np.ndarray:
+        """Scatter ``dy`` to the argmax winners via one flat ``np.add.at``.
+
+        ``argmax`` holds window-local winner indices (N, C, OH, OW); the
+        result is the (N, C, H, W) input gradient.  The flat 1-D scatter
+        applies duplicate updates in the same element order as the
+        reference multi-index scatter, so overlapping windows accumulate
+        bit-identically.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, h, w = self.shape
+        am = argmax.reshape(n, c * self.P)
+        lin = arena.rent((n, c * self.P), np.intp)
+        # Window-local winner am decomposes as (di, dj) = divmod(am, kw);
+        # its flat padded offset is di*wp + dj == di*(wp - kw) + am.
+        np.floor_divide(am, self.kw, out=lin, casting="unsafe")
+        lin *= self.wp - self.kw
+        lin += am
+        lin += self.pool_base[None]
+        lin += self.batch_offsets
+        out = arena.rent((n, self.Q), dy.dtype)
+        out.fill(0)
+        np.add.at(out.reshape(-1), lin.reshape(-1), dy.reshape(-1))
+        arena.release(lin)
+        dx = out.reshape(n, c, self.hp, self.wp)
+        if self.pad:
+            dx = dx[:, :, self.pad:self.pad + h, self.pad:self.pad + w]
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelPlan(shape={self.shape}, k=({self.kh},{self.kw}), "
+            f"stride={self.stride}, pad={self.pad})"
+        )
+
+
+# ----------------------------------------------------------------------
+# GEMM formulation autotune
+# ----------------------------------------------------------------------
+# ``np.matmul`` (one BLAS GEMM per sample) is 2-3x faster than the
+# reference ``np.einsum`` contraction on the benchmark shapes, and on
+# those shapes it is also *bit-identical* — but the equivalence is
+# shape-dependent (einsum's optimizer may pick a fat-GEMM path whose
+# reduction blocking differs on small problems).  Since the compute path
+# both libraries take is a function of shape/dtype only, one probe per
+# signature settles it: the first call evaluates both forms on the live
+# data, returns the reference result, and records whether matmul matched
+# bit-for-bit.  Later calls use matmul only when it did.  This keeps the
+# planned kernels unconditionally bit-identical to the reference mode
+# while taking the fast path wherever it is provably safe.
+#
+# The probe also records the einsum result's *strides*: einsum often
+# returns a transposed view, and downstream reductions (BatchNorm's
+# ``mean``/``var``) sum in memory order, so handing them a contiguous
+# matmul result would change *their* bits.  The fast path therefore
+# writes the GEMM into a buffer laid out exactly like einsum's output.
+_GemmKey = Tuple[str, Tuple[int, ...], Tuple[int, ...]]
+_gemm_fast: Dict[_GemmKey, Tuple[bool, Tuple[int, ...]]] = {}
+
+
+def _empty_like_layout(
+    shape: Tuple[int, ...], strides: Tuple[int, ...], dtype
+) -> np.ndarray:
+    """An uninitialised array of ``shape`` whose memory order matches an
+    array with the given (positive, non-overlapping) ``strides``."""
+    order = sorted(range(len(shape)), key=lambda a: -strides[a])
+    buf = np.empty([shape[a] for a in order], dtype=dtype)
+    return buf.transpose(np.argsort(order))
+
+
+def gemm_forward(wmat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """(F, K) @ (N, K, P) -> (N, F, P), bit-identical to the reference
+    ``einsum("fk,nkp->nfp")`` — values *and* memory layout — with a
+    per-signature matmul fast path."""
+    key = ("fwd", wmat.shape, cols.shape)
+    spec = _gemm_fast.get(key)
+    if spec is None:
+        ref = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+        # Probe the *exact* operation the fast path will run: matmul
+        # into a layout-matched buffer can itself take a different
+        # (non-BLAS) kernel than plain matmul on small shapes.
+        trial = _empty_like_layout(ref.shape, ref.strides, ref.dtype)
+        fast = bool(np.array_equal(ref, np.matmul(wmat, cols, out=trial)))
+        _gemm_fast[key] = (fast, ref.strides)
+        return ref
+    fast, strides = spec
+    if fast:
+        out = _empty_like_layout(
+            (cols.shape[0], wmat.shape[0], cols.shape[2]), strides,
+            np.result_type(wmat.dtype, cols.dtype),
+        )
+        return np.matmul(wmat, cols, out=out)
+    return np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+
+
+def gemm_dcols(
+    wmat: np.ndarray,
+    dy_mat: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """(F, K)^T @ (N, F, P) -> (N, K, P), bit-identical to the reference
+    ``einsum("fk,nfp->nkp")`` with a per-signature fast path.
+
+    Layout faithfulness is not needed here: the gradient columns are
+    consumed only by ``col2im``, which compacts its input, so only the
+    values matter.
+    """
+    key = ("dcols", wmat.shape, dy_mat.shape)
+    spec = _gemm_fast.get(key)
+    if spec is None:
+        ref = np.einsum("fk,nfp->nkp", wmat, dy_mat, optimize=True)
+        # The fast path always writes into a C-contiguous destination
+        # (plain matmul or an arena buffer), so probe exactly that.
+        trial = np.empty(ref.shape, ref.dtype)
+        _gemm_fast[key] = (
+            bool(np.array_equal(ref, np.matmul(wmat.T, dy_mat, out=trial))),
+            ref.strides,
+        )
+        if out is not None:
+            np.copyto(out, ref)
+            return out
+        return ref
+    if spec[0]:
+        if out is not None:
+            return np.matmul(wmat.T, dy_mat, out=out)
+        return np.matmul(wmat.T, dy_mat)
+    return np.einsum("fk,nfp->nkp", wmat, dy_mat, optimize=True, out=out)
+
+
+# ----------------------------------------------------------------------
+# Process-wide plan cache
+# ----------------------------------------------------------------------
+_PlanKey = Tuple[Shape4, int, int, int, int]
+_plan_cache: Dict[_PlanKey, KernelPlan] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def get_plan(shape, kh: int, kw: int, stride: int, pad: int) -> KernelPlan:
+    """Fetch (or build once) the plan for a shape signature."""
+    global _cache_hits, _cache_misses
+    key = (tuple(int(d) for d in shape), int(kh), int(kw), int(stride), int(pad))
+    plan = _plan_cache.get(key)
+    if plan is None:
+        plan = KernelPlan(*key)
+        _plan_cache[key] = plan
+        _cache_misses += 1
+    else:
+        _cache_hits += 1
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and GEMM probe (tests / memory pressure)."""
+    global _cache_hits, _cache_misses
+    _plan_cache.clear()
+    _gemm_fast.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Cache effectiveness counters for benchmarks and tests."""
+    return {
+        "size": len(_plan_cache),
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+    }

@@ -72,6 +72,17 @@ class OpContext(abc.ABC):
     def stashed_output(self) -> np.ndarray:
         """The layer's forward output, decoded from its stashed encoding."""
 
+    def stashed_input_lossless(self, index: int = 0) -> bool:
+        """Whether the stashed input decodes bit-exactly.
+
+        Layers may use this to reuse forward-pass intermediates in the
+        backward pass (e.g. conv's im2col columns): when the stash round
+        trip is exact, recomputing from the decoded stash would reproduce
+        the same bits, so the cached copy is equivalent.  The default is
+        conservative — contexts that don't track encodings report False.
+        """
+        return False
+
 
 class Layer(abc.ABC):
     """Base class for all operators in the execution graph."""

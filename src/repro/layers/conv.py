@@ -12,8 +12,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels.config import resolve_kernel_state
 from repro.layers.base import Layer, OpContext, Shape
-from repro.layers.im2col import col2im, conv_output_hw, im2col
+from repro.layers.im2col import (
+    col2im_reference,
+    conv_output_hw,
+    im2col_reference,
+)
 
 
 class Conv2D(Layer):
@@ -103,9 +108,29 @@ class Conv2D(Layer):
         (x,) = xs
         n, c, h, w = x.shape
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
-        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        enabled, arena = resolve_kernel_state(ctx)
         wmat = params["w"].reshape(self.out_channels, -1)
-        y = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+        if enabled:
+            from repro.kernels.plan import gemm_forward, get_plan
+
+            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
+            cols = plan.im2col(x, arena)
+            # Per-signature autotuned GEMM: matmul where it is provably
+            # bit-identical to the reference einsum, einsum otherwise.
+            y = gemm_forward(wmat, cols)
+            if (
+                train
+                and ctx is not None
+                and ctx.stashed_input_lossless()
+            ):
+                # The stash decodes to exactly this x, so the backward
+                # pass can reuse these columns instead of re-gathering.
+                ctx.save_state("cols", cols)
+            elif arena is not None:
+                arena.release(cols)
+        else:
+            cols = im2col_reference(x, self.kh, self.kw, self.stride, self.pad)
+            y = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
         if self.bias:
             y += params["b"][None, :, None]
         return y.reshape(n, self.out_channels, oh, ow).astype(np.float32, copy=False)
@@ -118,14 +143,46 @@ class Conv2D(Layer):
     ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
         x = ctx.stashed_input()
         n, f, oh, ow = dy.shape
-        dy_mat = dy.reshape(n, f, oh * ow)
-        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
-        dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(
-            params["w"].shape
-        )
+        p = oh * ow
+        dy_mat = dy.reshape(n, f, p)
         wmat = params["w"].reshape(f, -1)
-        dcols = np.einsum("fk,nfp->nkp", wmat, dy_mat, optimize=True)
-        dx = col2im(dcols, x.shape, self.kh, self.kw, self.stride, self.pad)
+        k = wmat.shape[1]
+        enabled, arena = resolve_kernel_state(ctx)
+        if enabled:
+            from repro.kernels.plan import gemm_dcols, get_plan
+
+            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
+            try:
+                cols = ctx.get_state("cols")
+            except KeyError:
+                cols = None
+            if cols is None:
+                cols = plan.im2col(x, arena)
+            # Same contraction as the reference path, so dW is
+            # bit-identical by construction; the planned win is the
+            # loop-free gather feeding it and the pooled buffers.
+            dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(
+                params["w"].shape
+            )
+            ctx.save_state("cols", None)
+            if arena is not None:
+                arena.release(cols)
+                dcols = gemm_dcols(
+                    wmat, dy_mat, out=arena.rent((n, k, p), np.float32)
+                )
+            else:
+                dcols = gemm_dcols(wmat, dy_mat)
+            dx = plan.col2im(dcols, arena)
+            if arena is not None:
+                arena.release(dcols)
+        else:
+            cols = im2col_reference(x, self.kh, self.kw, self.stride, self.pad)
+            dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(
+                params["w"].shape
+            )
+            dcols = np.einsum("fk,nfp->nkp", wmat, dy_mat, optimize=True)
+            dx = col2im_reference(dcols, x.shape, self.kh, self.kw,
+                                  self.stride, self.pad)
         dparams = {"w": dw.astype(np.float32, copy=False)}
         if self.bias:
             dparams["b"] = dy.sum(axis=(0, 2, 3)).astype(np.float32, copy=False)

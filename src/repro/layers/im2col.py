@@ -5,11 +5,26 @@ input is unfolded into a matrix of receptive-field columns, the convolution
 becomes a GEMM, and the transposed scatter (``col2im``) implements the
 backward pass.  This mirrors how cuDNN's GEMM-based algorithms work and
 keeps the NumPy kernels fast enough for the scaled training experiments.
+
+Two interchangeable implementations live behind :func:`im2col` /
+:func:`col2im`:
+
+* the **planned** path (default) looks up a cached
+  :class:`~repro.kernels.plan.KernelPlan` and runs a single strided
+  window-view copy / slot-scatter reduction with no Python loops,
+  renting its workspaces from a :class:`~repro.kernels.arena.WorkspaceArena`;
+* the **reference** path (:func:`im2col_reference` /
+  :func:`col2im_reference`) is the original ``kh x kw`` slice loop, kept
+  as the A/B baseline selected by ``REPRO_KERNEL_PLANS=0`` or a
+  per-executor switch.
+
+Both produce bit-identical results (asserted by the kernel property
+tests), including floating-point accumulation order in ``col2im``.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,10 +46,10 @@ def conv_output_hw(
     return oh, ow
 
 
-def im2col(
+def im2col_reference(
     x: np.ndarray, kh: int, kw: int, stride: int, pad: int
 ) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW)."""
+    """Loop-based unfold of ``x`` (N, C, H, W) into (N, C*kh*kw, OH*OW)."""
     n, c, h, w = x.shape
     oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
     if pad > 0:
@@ -48,7 +63,7 @@ def im2col(
     return cols.reshape(n, c * kh * kw, oh * ow)
 
 
-def col2im(
+def col2im_reference(
     cols: np.ndarray,
     x_shape: Tuple[int, int, int, int],
     kh: int,
@@ -56,7 +71,7 @@ def col2im(
     stride: int,
     pad: int,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back to (N, C, H, W)."""
+    """Loop-based adjoint of :func:`im2col_reference` (scatter-add)."""
     n, c, h, w = x_shape
     oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
     cols = cols.reshape(n, c, kh, kw, oh, ow)
@@ -70,3 +85,59 @@ def col2im(
     if pad > 0:
         x = x[:, :, pad : pad + h, pad : pad + w]
     return x
+
+
+def im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    arena=None,
+    enabled: Optional[bool] = None,
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW).
+
+    Args:
+        arena: Optional workspace arena the planned path rents buffers
+            from (the caller owns, and may release, the result).
+        enabled: Force the planned (True) or reference (False) path;
+            ``None`` defers to the global kernel-plan switch.
+    """
+    if enabled is None:
+        from repro.kernels.config import plans_enabled
+
+        enabled = plans_enabled()
+    if not enabled:
+        return im2col_reference(x, kh, kw, stride, pad)
+    from repro.kernels.plan import get_plan
+
+    return get_plan(x.shape, kh, kw, stride, pad).im2col(x, arena)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    arena=None,
+    enabled: Optional[bool] = None,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to (N, C, H, W).
+
+    See :func:`im2col` for the ``arena``/``enabled`` semantics.  The
+    planned path may return a view of an arena buffer; it stays valid
+    until the owning arena's next ``reset``.
+    """
+    if enabled is None:
+        from repro.kernels.config import plans_enabled
+
+        enabled = plans_enabled()
+    if not enabled:
+        return col2im_reference(cols, x_shape, kh, kw, stride, pad)
+    from repro.kernels.plan import get_plan
+
+    kh, kw = int(kh), int(kw)
+    return get_plan(x_shape, kh, kw, stride, pad).col2im(cols, arena)

@@ -18,8 +18,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dtypes import NIBBLE4, UINT8
+from repro.kernels.config import resolve_kernel_state
 from repro.layers.base import Layer, OpContext, Shape, StateSpec
-from repro.layers.im2col import conv_output_hw, im2col
+from repro.layers.im2col import conv_output_hw, im2col, im2col_reference
 
 
 class _Pool2D(Layer):
@@ -91,19 +92,27 @@ class MaxPool2D(_Pool2D):
         (x,) = xs
         n, c, h, w = x.shape
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
-        if self.pad > 0:
-            # Pad with -inf so padding never wins the max.
-            x = np.pad(
-                x,
-                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
-                mode="constant",
-                constant_values=-np.inf,
+        enabled, arena = resolve_kernel_state(ctx)
+        if enabled:
+            from repro.kernels.plan import get_plan
+
+            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
+            y, argmax = plan.maxpool_forward(x, arena)
+        else:
+            if self.pad > 0:
+                x = np.pad(
+                    x,
+                    ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                    mode="constant",
+                    constant_values=-np.inf,
+                )
+            cols = im2col_reference(x, self.kh, self.kw, self.stride, 0)
+            cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
+            argmax = cols.argmax(axis=2).astype(np.uint8)
+            y = np.take_along_axis(
+                cols, argmax[:, :, None, :].astype(np.intp), axis=2
             )
-        cols = im2col(x, self.kh, self.kw, self.stride, 0)
-        cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
-        argmax = cols.argmax(axis=2).astype(np.uint8)
-        y = np.take_along_axis(cols, argmax[:, :, None, :].astype(np.intp), axis=2)
-        y = y[:, :, 0, :].reshape(n, c, oh, ow)
+            y = y[:, :, 0, :].reshape(n, c, oh, ow)
         if ctx is not None:
             ctx.save_state("argmax", argmax)
             ctx.save_state("in_shape", np.array(xs[0].shape))
@@ -118,6 +127,13 @@ class MaxPool2D(_Pool2D):
         argmax = ctx.get_state("argmax")
         n, c, h, w = (int(v) for v in ctx.get_state("in_shape"))
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        enabled, arena = resolve_kernel_state(ctx)
+        if enabled:
+            from repro.kernels.plan import get_plan
+
+            plan = get_plan((n, c, h, w), self.kh, self.kw, self.stride,
+                            self.pad)
+            return [plan.maxpool_backward(argmax, dy, arena)], {}
         hp, wp = h + 2 * self.pad, w + 2 * self.pad
         dx = np.zeros((n, c, hp, wp), dtype=dy.dtype)
         # Decompose the window-local winner index into (di, dj) offsets and
@@ -155,9 +171,14 @@ class AvgPool2D(_Pool2D):
         (x,) = xs
         n, c, h, w = x.shape
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
-        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        enabled, arena = resolve_kernel_state(ctx)
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad,
+                      arena=arena, enabled=enabled)
+        rented = cols
         cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
         y = cols.mean(axis=2).reshape(n, c, oh, ow)
+        if enabled and arena is not None:
+            arena.release(rented)
         if ctx is not None:
             ctx.save_state("in_shape", np.array(x.shape))
         return y.astype(np.float32, copy=False)
@@ -168,10 +189,19 @@ class AvgPool2D(_Pool2D):
         n, c, h, w = (int(v) for v in ctx.get_state("in_shape"))
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
         scale = 1.0 / (self.kh * self.kw)
-        dcols = np.broadcast_to(
-            (dy * scale).reshape(n, c, 1, oh * ow), (n, c, self.kh * self.kw, oh * ow)
-        ).reshape(n, c * self.kh * self.kw, oh * ow)
-        dx = col2im(np.ascontiguousarray(dcols), (n, c, h, w), self.kh, self.kw, self.stride, self.pad)
+        enabled, arena = resolve_kernel_state(ctx)
+        scaled = (dy * scale).reshape(n, c, 1, oh * ow)
+        if enabled and arena is not None:
+            dcols = arena.rent((n, c * self.kh * self.kw, oh * ow), dy.dtype)
+            dcols.reshape(n, c, self.kh * self.kw, oh * ow)[:] = scaled
+        else:
+            dcols = np.ascontiguousarray(np.broadcast_to(
+                scaled, (n, c, self.kh * self.kw, oh * ow)
+            ).reshape(n, c * self.kh * self.kw, oh * ow))
+        dx = col2im(dcols, (n, c, h, w), self.kh, self.kw, self.stride,
+                    self.pad, arena=arena, enabled=enabled)
+        if enabled and arena is not None:
+            arena.release(dcols)
         return [dx], {}
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.encodings.base import Encoding
 from repro.graph.graph import Graph
 from repro.graph.node import OpNode
+from repro.kernels import WorkspaceArena, plans_enabled
 from repro.layers.base import OpContext
 from repro.layers.loss import SoftmaxCrossEntropy
 from repro.train.stash import BaselinePolicy, StashPolicy
@@ -50,6 +51,20 @@ class _Context(OpContext):
     def stashed_output(self) -> np.ndarray:
         return self._executor.stashed_value(self._node.node_id)
 
+    def stashed_input_lossless(self, index: int = 0) -> bool:
+        entry = self._executor._stash.get(self._node.inputs[index])
+        return entry is not None and entry[0].lossless
+
+    @property
+    def kernels_enabled(self) -> bool:
+        """Whether this executor runs the shape-static kernel plans."""
+        return self._executor.kernels_enabled
+
+    @property
+    def arena(self) -> WorkspaceArena:
+        """The executor's per-instance workspace arena."""
+        return self._executor.arena
+
 
 class GraphExecutor:
     """Forward/backward engine over a training graph.
@@ -58,12 +73,28 @@ class GraphExecutor:
         graph: The execution graph (must end in a loss node).
         policy: Stash policy (defaults to the FP32 baseline).
         seed: Parameter-initialisation seed.
+        use_kernel_plans: Run the shape-static plan-cache + arena kernels
+            (``None`` defers to the global ``REPRO_KERNEL_PLANS`` switch).
+            Disabling restores the original per-call kernels for A/B runs.
+        arena: Workspace arena to rent scratch buffers from.  Each
+            executor owns one by default; it is reset at the start of
+            every forward pass, so arrays returned by ``backward`` (input
+            gradients) are only valid until the next step begins.
     """
 
     def __init__(self, graph: Graph, policy: Optional[StashPolicy] = None,
-                 seed: int = 0):
+                 seed: int = 0, use_kernel_plans: Optional[bool] = None,
+                 arena: Optional[WorkspaceArena] = None):
         self.graph = graph
         self.policy = policy or BaselinePolicy()
+        self.kernels_enabled = (
+            plans_enabled() if use_kernel_plans is None
+            else bool(use_kernel_plans)
+        )
+        self.arena = (
+            arena if arena is not None
+            else WorkspaceArena(enabled=self.kernels_enabled)
+        )
         rng = np.random.default_rng(seed)
         self.params: Dict[int, Dict[str, np.ndarray]] = {}
         for node in graph.nodes:
@@ -131,6 +162,9 @@ class GraphExecutor:
         self._stash.clear()
         self._decoded.clear()
         self._ctx.clear()
+        # Step boundary: everything rented last step (gradients, encoded
+        # stashes, scratch) is dead now, so the pool can recycle it.
+        self.arena.reset()
         self.last_sparsity = {}
         self._loss_node.layer.set_labels(labels)
 
@@ -150,7 +184,10 @@ class GraphExecutor:
             y = self.policy.transform_forward(y, node)
             values[node.node_id] = y
             if node.kind in _SPARSITY_KINDS:
-                self.last_sparsity[node.name] = float((y == 0).mean())
+                # count_nonzero avoids materialising a boolean temporary.
+                self.last_sparsity[node.name] = (
+                    1.0 - np.count_nonzero(y) / y.size
+                )
             if node.node_id == self.graph.output_id:
                 loss = float(y[0])
             else:
@@ -165,6 +202,7 @@ class GraphExecutor:
         if not self._runtime_needs_stash(node):
             return
         encoding = self.policy.encoding_for(self.graph, node.node_id)
+        encoding.bind_arena(self.arena if self.kernels_enabled else None)
         self._stash[node.node_id] = (encoding, encoding.encode(y))
 
     def backward(self) -> Dict[str, np.ndarray]:
@@ -174,6 +212,11 @@ class GraphExecutor:
         grads_out: Dict[int, np.ndarray] = {
             self.graph.output_id: np.ones(1, dtype=np.float32)
         }
+        # Node ids whose grads_out entry is an executor-owned accumulation
+        # buffer, safe to add into in place.  Layer-returned gradients may
+        # be views (or shared between fan-out edges), so the first fan-in
+        # join copies into an owned buffer and later joins reuse it.
+        owned: set = set()
         param_grads: Dict[str, np.ndarray] = {}
         self._decoded.clear()
         for node in reversed(self.graph.nodes):
@@ -194,10 +237,18 @@ class GraphExecutor:
                 )
             for input_id, dx in zip(node.inputs, dxs):
                 dx = self.policy.transform_gradient(dx, node)
-                if input_id in grads_out:
-                    grads_out[input_id] = grads_out[input_id] + dx
-                else:
+                prev = grads_out.get(input_id)
+                if prev is None:
                     grads_out[input_id] = dx
+                elif input_id in owned:
+                    np.add(prev, dx, out=prev)
+                else:
+                    acc = self.arena.rent(
+                        prev.shape, np.result_type(prev.dtype, dx.dtype)
+                    )
+                    np.add(prev, dx, out=acc)
+                    grads_out[input_id] = acc
+                    owned.add(input_id)
             for pname, grad in dparams.items():
                 param_grads[f"{node.name}.{pname}"] = grad
         self.input_gradient = grads_out.get(self.graph.input_id)

@@ -1,0 +1,172 @@
+"""Workspace-arena invariants and codec fast-path equivalence.
+
+The arena's safety story is "rented buffers never alias while live" —
+these tests pin that down at the pool level, through a full executor
+step, and through the arena-aware codec paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings.binarize import (
+    pack_bits,
+    pack_nibbles,
+    unpack_bits,
+    unpack_nibbles,
+)
+from repro.encodings.ssdc import csr_decode, csr_encode, csr_positions
+from repro.kernels import WorkspaceArena
+from repro.models import tiny_cnn
+from repro.train import BaselinePolicy, GistPolicy, GraphExecutor
+
+
+class TestArenaInvariants:
+    def test_rent_never_aliases_outstanding(self):
+        arena = WorkspaceArena()
+        live = [arena.rent((4, 8), np.float32) for _ in range(6)]
+        for i, a in enumerate(live):
+            for b in live[i + 1:]:
+                assert not np.shares_memory(a, b)
+
+    def test_release_then_rent_reuses_buffer(self):
+        arena = WorkspaceArena()
+        a = arena.rent((3, 3), np.float32)
+        arena.release(a)
+        b = arena.rent((3, 3), np.float32)
+        assert b is a
+        assert arena.hits == 1
+
+    def test_released_view_is_ignored(self):
+        arena = WorkspaceArena()
+        a = arena.rent((4, 4), np.float32)
+        arena.release(a[:2])  # not the rented object: must be a no-op
+        b = arena.rent((4, 4), np.float32)
+        assert not np.shares_memory(a, b)
+        assert arena.outstanding == 2
+
+    def test_dtype_and_shape_key_pools_separately(self):
+        arena = WorkspaceArena()
+        a = arena.rent((8,), np.float32)
+        arena.release(a)
+        b = arena.rent((8,), np.float64)
+        assert b is not a
+        c = arena.rent((4, 2), np.float32)
+        assert c is not a  # same byte count, different shape key
+
+    def test_reset_reclaims_everything(self):
+        arena = WorkspaceArena()
+        rented = [arena.rent((5,), np.float32) for _ in range(3)]
+        arena.reset()
+        assert arena.outstanding == 0
+        again = [arena.rent((5,), np.float32) for _ in range(3)]
+        assert {id(a) for a in again} == {id(a) for a in rented}
+
+    def test_disabled_arena_never_pools(self):
+        arena = WorkspaceArena(enabled=False)
+        a = arena.rent((4,), np.float32)
+        arena.release(a)
+        b = arena.rent((4,), np.float32)
+        assert b is not a
+        assert arena.outstanding == 0
+
+
+class _AliasCheckingArena(WorkspaceArena):
+    """Arena that asserts every rent is disjoint from all live buffers."""
+
+    def rent(self, shape, dtype=np.float32):
+        arr = super().rent(shape, dtype)
+        for _, live in self._outstanding.values():
+            if live is arr:
+                continue
+            assert not np.shares_memory(arr, live), (
+                "arena handed out a buffer aliasing a live tensor"
+            )
+        return arr
+
+
+@pytest.mark.parametrize("policy_cls", [BaselinePolicy, GistPolicy])
+def test_arena_never_aliases_two_live_tensors_in_a_step(policy_cls):
+    """Run real training steps with an arena that checks, on every rent,
+    that the buffer overlaps no tensor still checked out this step."""
+    graph = tiny_cnn(batch_size=4)
+    policy = policy_cls(graph) if policy_cls is GistPolicy else policy_cls()
+    arena = _AliasCheckingArena()
+    ex = GraphExecutor(graph, policy=policy, seed=0, use_kernel_plans=True,
+                       arena=arena)
+    rng = np.random.default_rng(0)
+    images = rng.normal(0, 1, (4, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 4, 4)
+    for _ in range(3):
+        ex.forward(images, labels)
+        ex.backward()
+    assert arena.hits > 0  # the pool actually recycled across steps
+
+
+@pytest.mark.parametrize("policy_cls", [BaselinePolicy, GistPolicy])
+def test_executor_ab_bit_identical(policy_cls):
+    """Plans on vs off: same losses and parameter gradients, to the bit."""
+    rng = np.random.default_rng(1)
+    images = rng.normal(0, 1, (4, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 4, 4)
+    results = []
+    for use_plans in (True, False):
+        graph = tiny_cnn(batch_size=4)
+        policy = (policy_cls(graph) if policy_cls is GistPolicy
+                  else policy_cls())
+        ex = GraphExecutor(graph, policy=policy, seed=0,
+                           use_kernel_plans=use_plans)
+        steps = []
+        for _ in range(2):
+            loss = ex.forward(images, labels)
+            grads = ex.backward()
+            steps.append((loss, {k: v.copy() for k, v in grads.items()}))
+        results.append(steps)
+    on, off = results
+    for (loss_on, grads_on), (loss_off, grads_off) in zip(on, off):
+        assert loss_on == loss_off
+        assert grads_on.keys() == grads_off.keys()
+        for key in grads_on:
+            assert np.array_equal(grads_on[key], grads_off[key]), key
+
+
+class TestCodecFastPaths:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_pack_bits_arena_matches_plain(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n) > 0.5
+        arena = WorkspaceArena()
+        # Dirty the pool so the rented buffer arrives with stale bytes.
+        junk = arena.rent((4 * ((n + 31) // 32),), np.uint8)
+        junk.fill(0xFF)
+        arena.release(junk)
+        words = pack_bits(mask, arena=arena)
+        assert np.array_equal(words, pack_bits(mask))
+        assert np.array_equal(unpack_bits(words, mask.shape), mask)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_pack_nibbles_arena_matches_plain(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 16, n).astype(np.uint8)
+        arena = WorkspaceArena()
+        npairs = (n + 1) // 2
+        junk = arena.rent((4 * ((npairs + 3) // 4),), np.uint8)
+        junk.fill(0xFF)
+        arena.release(junk)
+        words = pack_nibbles(values, arena=arena)
+        assert np.array_equal(words, pack_nibbles(values))
+        assert np.array_equal(unpack_nibbles(words, values.shape), values)
+
+    def test_csr_positions_cached_on_encode(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 97).astype(np.float32)
+        x[x < 0.5] = 0.0
+        enc = csr_encode(x, cols=16)
+        assert enc.positions is not None  # encode caches the flat indices
+        pos = csr_positions(enc)
+        assert pos is enc.positions
+        np.testing.assert_array_equal(pos, np.flatnonzero(x))
+        assert np.array_equal(csr_decode(enc), x)

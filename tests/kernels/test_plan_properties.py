@@ -1,0 +1,269 @@
+"""Property tests for the shape-static kernel plans.
+
+The planned kernels promise *bit identity* with the reference Python-loop
+kernels, not approximate equality: the whole A/B story of the runtime
+kernel layer rests on "same floats, less time".  These tests sweep random
+shape signatures (Hypothesis) and assert exact ``np.array_equal`` on every
+output, plus the exact adjoint relationship between im2col and col2im.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.plan import (
+    KernelPlan,
+    clear_plan_cache,
+    gemm_dcols,
+    gemm_forward,
+    get_plan,
+    plan_cache_stats,
+)
+from repro.layers.im2col import (
+    col2im_reference,
+    conv_output_hw,
+    im2col_reference,
+)
+
+
+@st.composite
+def conv_signatures(draw):
+    """Random valid (shape, kh, kw, stride, pad) signatures."""
+    n = draw(st.integers(1, 3))
+    c = draw(st.integers(1, 4))
+    kh = draw(st.integers(1, 4))
+    kw = draw(st.integers(1, 4))
+    stride = draw(st.integers(1, 3))
+    pad = draw(st.integers(0, 2))
+    # Input large enough for at least one window position.
+    h = draw(st.integers(max(1, kh - 2 * pad), 10))
+    w = draw(st.integers(max(1, kw - 2 * pad), 10))
+    conv_output_hw(h, w, kh, kw, stride, pad)  # raises if invalid
+    return (n, c, h, w), kh, kw, stride, pad
+
+
+@settings(max_examples=60, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_im2col_bit_identical(sig, seed):
+    shape, kh, kw, stride, pad = sig
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, shape).astype(np.float32)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    got = plan.im2col(x)
+    want = im2col_reference(x, kh, kw, stride, pad)
+    assert got.dtype == want.dtype
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=60, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_col2im_bit_identical(sig, seed):
+    shape, kh, kw, stride, pad = sig
+    n, c, h, w = shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    rng = np.random.default_rng(seed)
+    cols = rng.normal(0, 1, (n, c * kh * kw, oh * ow)).astype(np.float32)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    got = plan.col2im(cols)
+    want = col2im_reference(cols, shape, kh, kw, stride, pad)
+    # Bitwise: the slot reduction replays the reference accumulation order.
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_col2im_is_exact_adjoint_of_im2col(sig, seed):
+    """<im2col(x), g> == <x, col2im(g)> with *exact* arithmetic.
+
+    Integer-valued operands keep every product and partial sum exactly
+    representable, so the adjoint identity holds to the last bit — any
+    index off by one anywhere would break it.
+    """
+    shape, kh, kw, stride, pad = sig
+    n, c, h, w = shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-8, 9, shape).astype(np.float32)
+    g = rng.integers(-8, 9, (n, c * kh * kw, oh * ow)).astype(np.float32)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    lhs = np.vdot(plan.im2col(x).astype(np.float64), g.astype(np.float64))
+    rhs = np.vdot(x.astype(np.float64),
+                  plan.col2im(g).astype(np.float64))
+    assert lhs == rhs
+
+
+def _maxpool_reference(x, kh, kw, stride, pad):
+    """The seed max-pool forward: pad with -inf, unfold, argmax per window."""
+    n, c, h, w = x.shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                   mode="constant", constant_values=-np.inf)
+    cols = im2col_reference(x, kh, kw, stride, 0)
+    cols = cols.reshape(n, c, kh * kw, oh * ow)
+    argmax = cols.argmax(axis=2).astype(np.uint8)
+    y = np.take_along_axis(cols, argmax[:, :, None, :].astype(np.intp),
+                           axis=2)[:, :, 0, :]
+    return y.reshape(n, c, oh, ow).astype(np.float32), argmax.reshape(
+        n, c, oh, ow)
+
+
+def _maxpool_backward_reference(argmax, dy, shape, kh, kw, stride, pad):
+    """The seed scatter: decompose winners into offsets, multi-index add.at."""
+    n, c, h, w = shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    dx = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+    oy, ox = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+    base_i = (oy * stride).ravel()
+    base_j = (ox * stride).ravel()
+    amax = argmax.reshape(n, c, oh * ow)
+    di = amax // kw
+    dj = amax % kw
+    rows = base_i[None, None, :] + di
+    colsj = base_j[None, None, :] + dj
+    nn = np.arange(n)[:, None, None]
+    cc = np.arange(c)[None, :, None]
+    np.add.at(dx, (nn, cc, rows, colsj), dy.reshape(n, c, oh * ow))
+    if pad > 0:
+        dx = dx[:, :, pad:pad + h, pad:pad + w]
+    return dx
+
+
+@settings(max_examples=60, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_maxpool_forward_bit_identical(sig, seed):
+    shape, kh, kw, stride, pad = sig
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, shape).astype(np.float32)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    y, argmax = plan.maxpool_forward(x)
+    y_ref, argmax_ref = _maxpool_reference(x, kh, kw, stride, pad)
+    assert np.array_equal(y, y_ref)
+    # Same winner under ties, too — the map feeds the backward scatter.
+    assert np.array_equal(argmax, argmax_ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_maxpool_backward_bit_identical(sig, seed):
+    """Covers overlapping windows (stride < kernel): duplicate scatter
+    targets must accumulate in the reference element order."""
+    shape, kh, kw, stride, pad = sig
+    n, c, h, w = shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, shape).astype(np.float32)
+    dy = rng.normal(0, 1, (n, c, oh, ow)).astype(np.float32)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    _, argmax = plan.maxpool_forward(x)
+    got = plan.maxpool_backward(argmax, dy)
+    want = _maxpool_backward_reference(argmax, dy, shape, kh, kw, stride, pad)
+    assert np.array_equal(got, want)
+
+
+def test_maxpool_disjoint_fast_path_matches_general():
+    """stride == kernel, pad == 0, exact tiling takes the reshape path;
+    force the general path through a same-geometry plan and compare."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(0, 1, (2, 3, 8, 8)).astype(np.float32)
+    plan = KernelPlan(x.shape, 2, 2, 2, 0)
+    y, argmax = plan.maxpool_forward(x)
+    y_ref, argmax_ref = _maxpool_reference(x, 2, 2, 2, 0)
+    assert np.array_equal(y, y_ref)
+    assert np.array_equal(argmax, argmax_ref)
+
+
+@settings(max_examples=30, deadline=None)
+@given(conv_signatures(), st.integers(0, 2**31 - 1))
+def test_noncontiguous_input_bit_identical(sig, seed):
+    """einsum outputs can be transposed views; the strided gather must
+    compact them instead of misreading their memory."""
+    shape, kh, kw, stride, pad = sig
+    n, c, h, w = shape
+    rng = np.random.default_rng(seed)
+    # (C, N, H, W) storage transposed into an (N, C, H, W) view.
+    x = np.ascontiguousarray(
+        rng.normal(0, 1, (c, n, h, w)).astype(np.float32)
+    ).transpose(1, 0, 2, 3)
+    assert not x.flags.c_contiguous or 1 in (n, c)
+    plan = KernelPlan(shape, kh, kw, stride, pad)
+    assert np.array_equal(
+        plan.im2col(x), im2col_reference(x, kh, kw, stride, pad)
+    )
+    y, argmax = plan.maxpool_forward(x)
+    y_ref, argmax_ref = _maxpool_reference(x, kh, kw, stride, pad)
+    assert np.array_equal(y, y_ref)
+    assert np.array_equal(argmax, argmax_ref)
+
+
+def test_padded_workspace_reused_across_calls():
+    """The persistent pad workspace must not leak state between inputs."""
+    plan = KernelPlan((1, 2, 5, 5), 3, 3, 1, 1)
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        x = rng.normal(0, 1, (1, 2, 5, 5)).astype(np.float32)
+        assert np.array_equal(
+            plan.im2col(x), im2col_reference(x, 3, 3, 1, 1)
+        )
+
+
+def test_slot_workspace_reused_across_calls():
+    """col2im's zero-once workspace: stale slot data must never bleed in."""
+    plan = KernelPlan((1, 2, 6, 6), 3, 3, 2, 1)
+    oh, ow = plan.oh, plan.ow
+    rng = np.random.default_rng(1)
+    for _ in range(3):
+        cols = rng.normal(0, 1, (1, 2 * 9, oh * ow)).astype(np.float32)
+        assert np.array_equal(
+            plan.col2im(cols),
+            col2im_reference(cols, (1, 2, 6, 6), 3, 3, 2, 1),
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 64), st.integers(1, 128), st.integers(1, 4),
+       st.integers(1, 64), st.integers(0, 2**31 - 1))
+def test_autotuned_gemms_match_reference_einsum(f, k, n, p, seed):
+    """Every call — probe and fast path alike — must equal the reference
+    contraction bitwise, even on signatures where raw matmul diverges."""
+    rng = np.random.default_rng(seed)
+    wmat = rng.normal(0, 1, (f, k)).astype(np.float32)
+    cols = rng.normal(0, 1, (n, k, p)).astype(np.float32)
+    dy = rng.normal(0, 1, (n, f, p)).astype(np.float32)
+    want_fwd = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+    want_dcols = np.einsum("fk,nfp->nkp", wmat, dy, optimize=True)
+    for _ in range(2):  # first call probes, second takes the chosen path
+        got = gemm_forward(wmat, cols)
+        assert np.array_equal(got, want_fwd)
+        # Memory layout must match too: downstream reductions sum in
+        # memory order, so a layout change would alter *their* bits.
+        assert got.strides == want_fwd.strides
+        assert np.array_equal(gemm_dcols(wmat, dy), want_dcols)
+    out = np.empty((n, k, p), np.float32)
+    assert np.array_equal(gemm_dcols(wmat, dy, out=out), want_dcols)
+
+
+class TestPlanCache:
+    def test_same_signature_shares_plan(self):
+        clear_plan_cache()
+        a = get_plan((2, 3, 8, 8), 3, 3, 1, 1)
+        b = get_plan((2, 3, 8, 8), 3, 3, 1, 1)
+        assert a is b
+        stats = plan_cache_stats()
+        assert stats["size"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_distinct_signatures_get_distinct_plans(self):
+        clear_plan_cache()
+        a = get_plan((2, 3, 8, 8), 3, 3, 1, 1)
+        b = get_plan((2, 3, 8, 8), 3, 3, 2, 1)
+        assert a is not b
+        assert plan_cache_stats()["size"] == 2
+
+    def test_clear_resets_counters(self):
+        get_plan((1, 1, 4, 4), 2, 2, 2, 0)
+        clear_plan_cache()
+        stats = plan_cache_stats()
+        assert stats == {"size": 0, "hits": 0, "misses": 0}
