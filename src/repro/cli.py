@@ -8,6 +8,8 @@ Commands:
 * ``breakdown MODEL`` — Figure 1/3-style memory breakdown.
 * ``overhead MODEL`` — Gist and swapping performance overheads.
 * ``train`` — a one-minute scaled training demo across stash policies.
+* ``trace`` — traced golden-recipe run: per-step timing/compression
+  table, optional invariant checking, golden save/compare.
 """
 
 from __future__ import annotations
@@ -137,6 +139,36 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.diagnostics import StepTracer, run_traced
+
+    tracer = StepTracer()
+    digest = run_traced(
+        args.model,
+        args.policy,
+        steps=args.steps,
+        seed=args.seed,
+        tracer=tracer,
+        check_invariants=args.check_invariants,
+    )
+    print(tracer.summary())
+    if args.check_invariants:
+        print("\ninvariants: round-trip, liveness and aliasing checks clean")
+    if args.save_golden:
+        digest.save_golden(args.save_golden)
+        print(f"\ngolden saved to {args.save_golden}")
+    if args.compare_golden:
+        comparison = digest.compare_golden(args.compare_golden)
+        if comparison:
+            print(f"\ngolden match: {args.compare_golden}")
+        else:
+            print(f"\ngolden MISMATCH vs {args.compare_golden}:")
+            for line in comparison.mismatches:
+                print(f"  {line}")
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -179,6 +211,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "uniform-fp8", "dpr-fp16", "dpr-fp10", "dpr-fp8"])
     p.add_argument("--epochs", type=int, default=4)
     p.set_defaults(func=cmd_train)
+
+    from repro.diagnostics.golden import GOLDEN_MODELS, TRACE_POLICIES
+
+    p = sub.add_parser("trace", help="traced run with golden conformance")
+    p.add_argument("--model", default="tiny_cnn",
+                   choices=sorted(GOLDEN_MODELS),
+                   help="golden-recipe model (default: tiny_cnn)")
+    p.add_argument("--policy", default="gist-lossless",
+                   choices=list(TRACE_POLICIES),
+                   help="stash policy arm (default: gist-lossless)")
+    p.add_argument("--steps", type=int, default=3,
+                   help="SGD steps to trace (goldens pin 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for parameters and batches")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="enable the runtime invariant suite during the run")
+    p.add_argument("--save-golden", metavar="PATH",
+                   help="write this run's digest as a golden trace")
+    p.add_argument("--compare-golden", metavar="PATH",
+                   help="compare against a saved golden; exit 1 on mismatch")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -1,0 +1,73 @@
+"""Step-trace observability, golden-trace conformance and invariants.
+
+Three subsystems, all wired through the training executor:
+
+* :class:`StepTracer` (:mod:`repro.diagnostics.tracer`) — structured
+  per-step/per-node events: wall time, encode/decode byte counts and
+  compression ratios per encoding, workspace-arena statistics.  Attached
+  per executor; costs nothing when detached.
+* :class:`TraceDigest` (:mod:`repro.diagnostics.digest`) — deterministic
+  SHA-256 fingerprints of losses, parameter gradients and decoded stash
+  tensors, with :meth:`~TraceDigest.save_golden` /
+  :meth:`~TraceDigest.compare_golden` so any model+policy run can be
+  pinned and re-verified in CI (recipes in
+  :mod:`repro.diagnostics.golden`).
+* :class:`InvariantSuite` (:mod:`repro.diagnostics.invariants`) — runtime
+  checkers: lossless encodings round-trip bit-exactly, stashes are never
+  read past their liveness death point, arena rents never alias live
+  encoded stashes; plus :func:`verify_kernel_agreement` for the
+  kernel-plan vs reference cross-check.
+
+CLI surface: ``python -m repro trace`` runs a traced training demo and
+saves/compares goldens.
+"""
+
+from repro.diagnostics.digest import (
+    GoldenComparison,
+    StepDigest,
+    TraceDigest,
+    array_digest,
+    capture_digest,
+    load_golden,
+    mapping_digest,
+    step_digest,
+)
+from repro.diagnostics.golden import (
+    GOLDEN_MODELS,
+    GOLDEN_POLICIES,
+    TRACE_POLICIES,
+    build_trace_policy,
+    golden_batches,
+    golden_filename,
+    run_traced,
+)
+from repro.diagnostics.invariants import (
+    InvariantSuite,
+    InvariantViolation,
+    verify_kernel_agreement,
+)
+from repro.diagnostics.tracer import StepRecord, StepTracer, TraceEvent
+
+__all__ = [
+    "GOLDEN_MODELS",
+    "GOLDEN_POLICIES",
+    "GoldenComparison",
+    "InvariantSuite",
+    "InvariantViolation",
+    "StepDigest",
+    "StepRecord",
+    "StepTracer",
+    "TRACE_POLICIES",
+    "TraceDigest",
+    "TraceEvent",
+    "array_digest",
+    "build_trace_policy",
+    "capture_digest",
+    "golden_batches",
+    "golden_filename",
+    "load_golden",
+    "mapping_digest",
+    "run_traced",
+    "step_digest",
+    "verify_kernel_agreement",
+]

@@ -1,0 +1,225 @@
+"""Deterministic trace digests and golden-trace conformance.
+
+A :class:`TraceDigest` pins the *numerical identity* of a training run:
+per step it records stable SHA-256 hashes of the scalar loss, every
+parameter gradient, and every decoded stash tensor.  Two runs with the
+same digest computed the same bits everywhere the paper makes a claim —
+losses, gradients, and what the backward pass actually read out of the
+encoded stashes.
+
+Digests serialise to JSON, so any model+policy combination can be saved
+as a *golden trace* (:meth:`TraceDigest.save_golden`) and re-verified
+later (:meth:`TraceDigest.compare_golden`), turning "Gist-lossless trains
+bit-identically" from an ad-hoc benchmark assertion into a permanent,
+machine-checkable conformance gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Format version stamped into golden files; bump on digest layout changes.
+GOLDEN_FORMAT = 1
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Stable SHA-256 hex digest of an array's dtype, shape and bytes.
+
+    The hash covers the exact bit pattern (C-contiguous byte order), so
+    two arrays digest equal iff they are bit-for-bit the same tensor.
+    """
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(a.dtype.str.encode())
+    h.update(repr(tuple(a.shape)).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def mapping_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """Order-independent combined digest of a name -> array mapping."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        h.update(name.encode())
+        h.update(array_digest(arrays[name]).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class StepDigest:
+    """Numerical fingerprint of one training step.
+
+    Attributes:
+        loss: The scalar loss (stored for human-readable diffs).
+        loss_hash: Digest of the loss's float64 bit pattern.
+        grads_hash: Combined digest of every parameter gradient.
+        stash_hash: Combined digest of every *decoded* stash tensor — what
+            the backward pass actually read, post encode/decode.
+    """
+
+    loss: float
+    loss_hash: str
+    grads_hash: str
+    stash_hash: str
+
+
+@dataclass(frozen=True)
+class GoldenComparison:
+    """Outcome of comparing a digest against a golden trace.
+
+    Attributes:
+        matches: True iff every step (and the metadata) agrees.
+        mismatches: Human-readable descriptions of each disagreement.
+    """
+
+    matches: bool
+    mismatches: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.matches
+
+
+@dataclass
+class TraceDigest:
+    """Stable per-step hashes of one training run.
+
+    Attributes:
+        model: Registry model name (or graph name) the run used.
+        policy: Stash-policy label (:meth:`~repro.train.stash.StashPolicy.describe`).
+        seed: Executor/parameter seed of the run.
+        steps: One :class:`StepDigest` per training step, in order.
+    """
+
+    model: str
+    policy: str
+    seed: int
+    steps: List[StepDigest]
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """JSON-serialisable representation (the golden file format)."""
+        return {
+            "format": GOLDEN_FORMAT,
+            "model": self.model,
+            "policy": self.policy,
+            "seed": self.seed,
+            "steps": [asdict(s) for s in self.steps],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TraceDigest":
+        """Inverse of :meth:`to_json`."""
+        if data.get("format") != GOLDEN_FORMAT:
+            raise ValueError(
+                f"golden format {data.get('format')!r} != {GOLDEN_FORMAT}"
+            )
+        return cls(
+            model=data["model"],
+            policy=data["policy"],
+            seed=int(data["seed"]),
+            steps=[StepDigest(**s) for s in data["steps"]],
+        )
+
+    def save_golden(self, path) -> Path:
+        """Write this digest as a golden-trace JSON file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def compare_golden(self, path) -> GoldenComparison:
+        """Diff this digest against a saved golden trace.
+
+        Returns a :class:`GoldenComparison`; truthiness signals a match, and
+        ``mismatches`` names the first divergent field of every bad step.
+        """
+        golden = load_golden(path)
+        problems: List[str] = []
+        for attr in ("model", "policy", "seed"):
+            mine, theirs = getattr(self, attr), getattr(golden, attr)
+            if mine != theirs:
+                problems.append(f"{attr}: run={mine!r} golden={theirs!r}")
+        if len(self.steps) != len(golden.steps):
+            problems.append(
+                f"step count: run={len(self.steps)} golden={len(golden.steps)}"
+            )
+        for i, (mine, theirs) in enumerate(zip(self.steps, golden.steps)):
+            for field in ("loss_hash", "grads_hash", "stash_hash"):
+                if getattr(mine, field) != getattr(theirs, field):
+                    problems.append(
+                        f"step {i} {field}: run loss={mine.loss!r} "
+                        f"golden loss={theirs.loss!r}"
+                    )
+                    break
+        return GoldenComparison(not problems, tuple(problems))
+
+
+def load_golden(path) -> TraceDigest:
+    """Load a golden-trace JSON file written by :meth:`TraceDigest.save_golden`."""
+    return TraceDigest.from_json(json.loads(Path(path).read_text()))
+
+
+def step_digest(
+    loss: float,
+    grads: Mapping[str, np.ndarray],
+    stashes: Mapping[str, np.ndarray],
+) -> StepDigest:
+    """Digest one step's loss, parameter gradients and decoded stashes."""
+    return StepDigest(
+        loss=float(loss),
+        loss_hash=array_digest(np.float64(loss)),
+        grads_hash=mapping_digest(grads),
+        stash_hash=mapping_digest(stashes),
+    )
+
+
+def capture_digest(
+    executor,
+    batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+    optimizer=None,
+    model: str = "",
+    policy: Optional[str] = None,
+    seed: int = 0,
+) -> TraceDigest:
+    """Run training steps through ``executor`` and digest each one.
+
+    For every ``(images, labels)`` batch this runs a forward pass, digests
+    every decoded stash tensor (forcing the same decodes the backward pass
+    performs), runs the backward pass, digests the gradients, and — when an
+    ``optimizer`` is given — applies the SGD update so successive steps
+    exercise evolving parameters.
+
+    Args:
+        executor: A :class:`~repro.train.executor.GraphExecutor`.
+        batches: One ``(images, labels)`` pair per step.
+        optimizer: Optional optimiser stepped with each batch's gradients.
+        model: Label recorded in the digest (defaults to the graph name).
+        policy: Label recorded in the digest (defaults to the policy's
+            :meth:`~repro.train.stash.StashPolicy.describe`).
+        seed: Seed recorded in the digest metadata.
+    """
+    graph = executor.graph
+    params = executor.parameters()
+    steps: List[StepDigest] = []
+    for images, labels in batches:
+        loss = executor.forward(images, labels, train=True)
+        stashes: Dict[str, np.ndarray] = {
+            graph.node(nid).name: executor.stashed_value(nid)
+            for nid in executor.stashed_node_ids()
+        }
+        grads = executor.backward()
+        steps.append(step_digest(loss, grads, stashes))
+        if optimizer is not None:
+            optimizer.step(params, grads)
+    return TraceDigest(
+        model=model or graph.name,
+        policy=policy if policy is not None else executor.policy.describe(),
+        seed=seed,
+        steps=steps,
+    )

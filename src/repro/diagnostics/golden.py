@@ -1,0 +1,132 @@
+"""Pinned golden-trace recipes for registry models.
+
+A golden trace is only useful if the run that produced it is perfectly
+reproducible, so this module fixes every degree of freedom: the model
+configuration (small enough to train in milliseconds), the synthetic
+batch stream, the executor seed and the optimiser.  The same recipe is
+used by the ``repro trace`` CLI, the conformance test suite, and anyone
+regenerating goldens after an intentional numerical change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policy import GistConfig
+from repro.diagnostics.digest import TraceDigest, capture_digest
+from repro.diagnostics.tracer import StepTracer
+from repro.dtypes import DPR_FORMATS
+from repro.graph.graph import Graph
+from repro.models import build_model
+from repro.train.executor import GraphExecutor
+from repro.train.optimizer import SGD
+from repro.train.stash import (
+    BaselinePolicy,
+    GistPolicy,
+    StashPolicy,
+    UniformReductionPolicy,
+)
+
+__all__ = [
+    "GOLDEN_MODELS",
+    "GOLDEN_POLICIES",
+    "TRACE_POLICIES",
+    "build_trace_policy",
+    "golden_batches",
+    "golden_filename",
+    "run_traced",
+]
+
+#: Model name -> fixed build kwargs for golden runs (kept tiny on purpose).
+GOLDEN_MODELS: Dict[str, Dict[str, int]] = {
+    "tiny_cnn": {"batch_size": 8, "num_classes": 4, "image_size": 8},
+    "scaled_vgg": {
+        "batch_size": 8, "num_classes": 4, "image_size": 8, "width": 4,
+    },
+    "scaled_alexnet": {"batch_size": 8, "num_classes": 4, "image_size": 16},
+}
+
+#: The policy arms pinned as goldens in the conformance suite.
+GOLDEN_POLICIES: Tuple[str, ...] = ("baseline", "gist-lossless")
+
+#: Policy names accepted by :func:`build_trace_policy`.
+TRACE_POLICIES: Tuple[str, ...] = (
+    "baseline", "gist-lossless", "gist-fp16", "gist-fp10", "gist-fp8",
+    "uniform-fp16",
+)
+
+
+def build_trace_policy(name: str, graph: Graph) -> StashPolicy:
+    """Build the stash policy a trace/golden arm names.
+
+    ``baseline``, ``gist-lossless``, ``gist-fp16/fp10/fp8`` (full Gist at
+    that DPR width) and ``uniform-fp16`` are supported.
+    """
+    if name == "baseline":
+        return BaselinePolicy()
+    if name == "gist-lossless":
+        return GistPolicy(graph, GistConfig.lossless())
+    if name.startswith("gist-") and name[5:] in DPR_FORMATS:
+        return GistPolicy(graph, GistConfig.full(name[5:]))
+    if name.startswith("uniform-") and name[8:] in DPR_FORMATS:
+        return UniformReductionPolicy(DPR_FORMATS[name[8:]])
+    raise KeyError(f"unknown trace policy {name!r}; known: {TRACE_POLICIES}")
+
+
+def golden_filename(model: str, policy: str) -> str:
+    """Canonical golden-trace filename for a model/policy arm."""
+    return f"{model}--{policy}.json"
+
+
+def golden_batches(
+    model: str, steps: int, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The pinned synthetic batch stream for a golden run."""
+    spec = GOLDEN_MODELS[model]
+    rng = np.random.default_rng(seed + 1_000_003)
+    batch, side = spec["batch_size"], spec["image_size"]
+    classes = spec["num_classes"]
+    return [
+        (
+            rng.normal(0.0, 1.0, (batch, 3, side, side)).astype(np.float32),
+            rng.integers(0, classes, batch),
+        )
+        for _ in range(steps)
+    ]
+
+
+def run_traced(
+    model: str,
+    policy: str,
+    steps: int = 3,
+    seed: int = 0,
+    tracer: Optional[StepTracer] = None,
+    check_invariants: bool = False,
+) -> TraceDigest:
+    """Run the pinned recipe for ``model``/``policy``; return its digest.
+
+    Args:
+        model: A key of :data:`GOLDEN_MODELS`.
+        policy: A :data:`TRACE_POLICIES` name.
+        steps: Number of SGD steps (goldens pin 3).
+        seed: Master seed for parameters and the batch stream.
+        tracer: Optional :class:`StepTracer` to observe the run with.
+        check_invariants: Enable the full runtime invariant suite.
+    """
+    spec = GOLDEN_MODELS[model]
+    graph = build_model(model, **spec)
+    executor = GraphExecutor(graph, build_trace_policy(policy, graph),
+                             seed=seed, tracer=tracer)
+    if check_invariants:
+        executor.enable_invariants()
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    return capture_digest(
+        executor,
+        golden_batches(model, steps, seed),
+        optimizer=optimizer,
+        model=model,
+        policy=policy,
+        seed=seed,
+    )

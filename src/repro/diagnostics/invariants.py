@@ -1,0 +1,248 @@
+"""Runtime invariant checkers for the training executor.
+
+Gist's correctness claims become machine-checkable here.  An
+:class:`InvariantSuite` binds to one
+:class:`~repro.train.executor.GraphExecutor` (via
+:meth:`~repro.train.executor.GraphExecutor.enable_invariants`) and
+verifies, while training runs:
+
+* **lossless-round-trip** — every lossless encoding's decode reproduces,
+  bit for bit, the reference the paper promises (the stashed values for
+  Identity/SSDC, the positivity mask for Binarize);
+* **stash-liveness** — no encoded stash is read after its death point on
+  the schedule clock, i.e. the shortened lifetimes the Schedule Builder
+  sells to the allocator are honoured by the runtime;
+* **arena-alias** — no workspace-arena rent hands out memory overlapping
+  a live encoded stash (the aliasing bug a buggy ``release`` would cause).
+
+Each checker *raises* :class:`InvariantViolation` at the faulty event, so
+seeded-fault tests can assert the checkers actually fire.
+:func:`verify_kernel_agreement` additionally cross-checks the kernel-plan
+and reference execution paths for bit-identical training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diagnostics.digest import array_digest, step_digest
+from repro.graph.graph import Graph
+from repro.graph.node import OpNode
+from repro.graph.schedule import TrainingSchedule
+# The runtime stash-dependence resolvers are shared with the executor so
+# the liveness table here matches what the executor actually stashes.
+from repro.train.executor import (
+    GraphExecutor,
+    _runtime_needs_input,
+    _runtime_needs_output,
+)
+
+__all__ = ["InvariantSuite", "InvariantViolation", "verify_kernel_agreement"]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the training executor was broken."""
+
+
+def _component_arrays(encoded, out: Optional[List[np.ndarray]] = None):
+    """Flatten an encoded stash object into its backing ndarrays."""
+    if out is None:
+        out = []
+    if isinstance(encoded, np.ndarray):
+        out.append(encoded)
+        return out
+    for attr in ("words", "values", "col_idx", "row_ptr", "mask_words"):
+        part = getattr(encoded, attr, None)
+        if part is not None:
+            _component_arrays(part, out)
+    return out
+
+
+def _span(arr: np.ndarray) -> Tuple[int, int]:
+    """[start, end) byte-address range of a (contiguous) array."""
+    start = arr.__array_interface__["data"][0]
+    return start, start + arr.nbytes
+
+
+class InvariantSuite:
+    """Per-executor runtime invariant checkers.
+
+    Built by :meth:`~repro.train.executor.GraphExecutor.enable_invariants`;
+    the executor calls the ``on_*`` hooks at each event site.  Checkers are
+    individually switchable so a test can isolate one invariant.
+
+    Args:
+        executor: The executor to bind to.
+        round_trip: Verify lossless decode bit-exactness.
+        liveness: Verify stash reads stay inside their lifetime window.
+        aliasing: Verify arena rents never overlap live encoded stashes
+            (installs itself as the arena's rent observer).
+    """
+
+    def __init__(self, executor: "GraphExecutor", round_trip: bool = True,
+                 liveness: bool = True, aliasing: bool = True):
+        self.executor = executor
+        self.round_trip = round_trip
+        self.liveness = liveness
+        self.aliasing = aliasing
+        self.schedule = TrainingSchedule(executor.graph)
+        self._death = self._death_table(executor.graph, self.schedule)
+        self._clock = -1
+        #: node_id -> digest of the expected lossless decode.
+        self._expected: Dict[int, Tuple[str, str]] = {}
+        #: [start, end) spans of live encoded-stash buffers, + node name.
+        self._regions: List[Tuple[int, int, str]] = []
+        if aliasing:
+            executor.arena.observer = self
+
+    @staticmethod
+    def _death_table(graph: Graph, schedule: TrainingSchedule) -> Dict[int, int]:
+        """Last legitimate read time of each node's stash, runtime flags."""
+        death: Dict[int, int] = {}
+        for node in graph.nodes:
+            nid = node.node_id
+            last = schedule.forward_time(nid)
+            for consumer in graph.consumers(nid):
+                last = max(last, schedule.forward_time(consumer.node_id))
+                if (_runtime_needs_input(consumer)
+                        and schedule.has_backward(consumer.node_id)):
+                    last = max(last, schedule.backward_time(consumer.node_id))
+            if _runtime_needs_output(node) and schedule.has_backward(nid):
+                last = max(last, schedule.backward_time(nid))
+            death[nid] = last
+        return death
+
+    # -- executor hooks -------------------------------------------------
+    def begin_step(self) -> None:
+        """Reset per-step state (called at the top of ``forward``)."""
+        self._clock = -1
+        self._expected.clear()
+        self._regions.clear()
+
+    def on_forward(self, node: OpNode) -> None:
+        """Advance the schedule clock to ``node``'s forward op."""
+        self._clock = self.schedule.forward_time(node.node_id)
+
+    def on_backward(self, node: OpNode) -> None:
+        """Advance the schedule clock to ``node``'s backward op."""
+        self._clock = self.schedule.backward_time(node.node_id)
+
+    def end_step(self) -> None:
+        """Move the clock past the schedule end (called after backward).
+
+        Any stash read issued after this point is by definition outside
+        every liveness window and will be reported.
+        """
+        self._clock = self.schedule.num_steps
+
+    def on_stash_encoded(self, node: OpNode, y: np.ndarray,
+                         encoding, encoded) -> None:
+        """Record expectations for a freshly encoded stash."""
+        if self.round_trip and encoding.lossless:
+            self._expected[node.node_id] = (
+                array_digest(encoding.expected_decode(y)), encoding.name
+            )
+        if self.aliasing:
+            for arr in _component_arrays(encoded):
+                self._regions.append(_span(arr) + (node.name,))
+
+    def on_stash_read(self, node_id: int) -> None:
+        """Check a stash read against the liveness table."""
+        if not self.liveness:
+            return
+        death = self._death.get(node_id)
+        if death is not None and self._clock > death:
+            name = self.executor.graph.node(node_id).name
+            raise InvariantViolation(
+                f"stash-liveness: stash of {name!r} read at schedule time "
+                f"{self._clock}, after its death point {death}"
+            )
+
+    def on_decoded(self, node_id: int, encoding, value: np.ndarray) -> None:
+        """Check a decode result against the recorded expectation."""
+        if not self.round_trip:
+            return
+        expected = self._expected.get(node_id)
+        if expected is None:
+            return
+        digest, enc_name = expected
+        if array_digest(value) != digest:
+            name = self.executor.graph.node(node_id).name
+            raise InvariantViolation(
+                f"lossless-round-trip: {enc_name} decode of {name!r} is not "
+                f"bit-identical to the encoded reference"
+            )
+
+    def on_rent(self, arr: np.ndarray) -> None:
+        """Arena observer: a rented buffer must not alias a live stash."""
+        if not self.aliasing:
+            return
+        start, end = _span(arr)
+        for r_start, r_end, name in self._regions:
+            if start < r_end and r_start < end:
+                raise InvariantViolation(
+                    f"arena-alias: rented buffer [{start:#x}, {end:#x}) "
+                    f"overlaps the live encoded stash of {name!r}"
+                )
+
+
+def verify_kernel_agreement(
+    graph: Graph,
+    batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+    policy_factory=None,
+    seed: int = 0,
+) -> int:
+    """Cross-check the kernel-plan and reference execution paths.
+
+    Runs two fresh executors over the same graph and batches — one with
+    the shape-static kernel plans + arena, one with the original per-call
+    kernels — and requires bit-identical losses, parameter gradients and
+    decoded stash tensors at every step.
+
+    Args:
+        graph: The training graph (parameters are re-initialised per
+            executor from ``seed``, so both start identical).
+        batches: ``(images, labels)`` pairs, one per step.
+        policy_factory: ``graph -> StashPolicy`` builder; called once per
+            executor so no runtime state is shared.  ``None`` uses the
+            FP32 baseline.
+        seed: Parameter-initialisation seed for both executors.
+
+    Returns:
+        The number of verified steps.
+
+    Raises:
+        InvariantViolation: On the first step where the two paths diverge.
+    """
+    def run(use_plans: bool) -> List:
+        # Stateful layers (dropout) live on the shared graph: restart their
+        # mask streams so both modes draw identical randomness.
+        for node in graph.nodes:
+            reset = getattr(node.layer, "reset_rng", None)
+            if reset is not None:
+                reset()
+        policy = policy_factory(graph) if policy_factory is not None else None
+        ex = GraphExecutor(graph, policy, seed=seed,
+                           use_kernel_plans=use_plans)
+        digests = []
+        for images, labels in batches:
+            loss = ex.forward(images, labels, train=True)
+            stashes = {
+                graph.node(nid).name: ex.stashed_value(nid)
+                for nid in ex.stashed_node_ids()
+            }
+            grads = ex.backward()
+            digests.append(step_digest(loss, grads, stashes))
+        return digests
+
+    plan_digests, ref_digests = run(True), run(False)
+    for step, (mine, theirs) in enumerate(zip(plan_digests, ref_digests)):
+        if mine != theirs:
+            raise InvariantViolation(
+                f"kernel-agreement: plan and reference paths diverged at "
+                f"step {step} (plan loss={mine.loss!r}, "
+                f"reference loss={theirs.loss!r})"
+            )
+    return len(batches)

@@ -61,6 +61,21 @@ class Encoding(abc.ABC):
     def decode(self, encoded: Any) -> np.ndarray:
         """Reconstruct the array (or mask) the backward pass consumes."""
 
+    def expected_decode(self, x: np.ndarray) -> np.ndarray:
+        """Reference value ``decode(encode(x))`` must reproduce bit-exactly.
+
+        Only meaningful for lossless encodings; the diagnostics round-trip
+        checker digests this at encode time and compares it against the
+        actual decode.  Defaults to ``x`` itself (Identity, SSDC);
+        mask-based encodings override it (Binarize returns ``x > 0``).
+        """
+        if not self.lossless:
+            raise ValueError(
+                f"{self.name}: expected_decode is defined only for "
+                f"lossless encodings"
+            )
+        return x
+
     def measure_bytes(self, encoded: Any) -> int:
         """Actual bytes of a runtime-encoded object (for sparsity studies)."""
         raise NotImplementedError

@@ -126,6 +126,10 @@ class BinarizeEncoding(Encoding):
     def decode(self, encoded: BinarizedTensor) -> np.ndarray:
         return unpack_bits(encoded.words, encoded.shape)
 
+    def expected_decode(self, x: np.ndarray) -> np.ndarray:
+        """The positivity mask — all the information decode reconstructs."""
+        return x > 0
+
     def measure_bytes(self, encoded: BinarizedTensor) -> int:
         return encoded.nbytes
 

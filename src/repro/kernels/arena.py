@@ -43,6 +43,10 @@ class WorkspaceArena:
         self._outstanding: Dict[int, Tuple[_Key, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional rent observer (the diagnostics arena-alias checker):
+        #: an object with ``on_rent(arr)`` called for every pooled rent.
+        #: ``None`` (the default) keeps the rent path observer-free.
+        self.observer = None
 
     @staticmethod
     def _key(shape, dtype) -> _Key:
@@ -61,6 +65,8 @@ class WorkspaceArena:
             arr = np.empty(shape, dtype=dtype)
             self.misses += 1
         self._outstanding[id(arr)] = (key, arr)
+        if self.observer is not None:
+            self.observer.on_rent(arr)
         return arr
 
     def release(self, arr: np.ndarray) -> None:

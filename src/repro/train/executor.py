@@ -10,13 +10,20 @@ for DPR — exactly as the paper's modified CNTK does.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.encodings.base import Encoding
 from repro.graph.graph import Graph
 from repro.graph.node import OpNode
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnostics.invariants import InvariantSuite
+    from repro.diagnostics.tracer import StepTracer
 from repro.kernels import WorkspaceArena, plans_enabled
 from repro.layers.base import OpContext
 from repro.layers.loss import SoftmaxCrossEntropy
@@ -80,13 +87,20 @@ class GraphExecutor:
             executor owns one by default; it is reset at the start of
             every forward pass, so arrays returned by ``backward`` (input
             gradients) are only valid until the next step begins.
+        tracer: Optional :class:`~repro.diagnostics.tracer.StepTracer`
+            observing this executor.  Every hook site is guarded by a
+            single ``is not None`` check, so a detached tracer (the
+            default) leaves the hot path untouched.
     """
 
     def __init__(self, graph: Graph, policy: Optional[StashPolicy] = None,
                  seed: int = 0, use_kernel_plans: Optional[bool] = None,
-                 arena: Optional[WorkspaceArena] = None):
+                 arena: Optional[WorkspaceArena] = None,
+                 tracer: Optional["StepTracer"] = None):
         self.graph = graph
         self.policy = policy or BaselinePolicy()
+        self.tracer = tracer
+        self._invariants = None
         self.kernels_enabled = (
             plans_enabled() if use_kernel_plans is None
             else bool(use_kernel_plans)
@@ -124,6 +138,9 @@ class GraphExecutor:
 
     def stashed_value(self, node_id: int) -> np.ndarray:
         """Decode (with caching) the stashed feature map of ``node_id``."""
+        checks = self._invariants
+        if checks is not None:
+            checks.on_stash_read(node_id)
         if node_id in self._decoded:
             return self._decoded[node_id]
         try:
@@ -131,9 +148,40 @@ class GraphExecutor:
         except KeyError:
             name = self.graph.node(node_id).name
             raise KeyError(f"feature map of {name!r} was not stashed") from None
-        value = encoding.decode(encoded)
+        tracer = self.tracer
+        if tracer is not None:
+            t0 = perf_counter()
+            value = encoding.decode(encoded)
+            tracer.record_decode(self.graph.node(node_id).name, encoding.name,
+                                 value.nbytes, perf_counter() - t0)
+        else:
+            value = encoding.decode(encoded)
+        if checks is not None:
+            checks.on_decoded(node_id, encoding, value)
         self._decoded[node_id] = value
         return value
+
+    def stashed_node_ids(self) -> List[int]:
+        """Node ids with a live stash entry (after a forward pass)."""
+        return list(self._stash)
+
+    def enable_invariants(self, round_trip: bool = True,
+                          liveness: bool = True,
+                          aliasing: bool = True) -> "InvariantSuite":
+        """Attach runtime invariant checkers to this executor.
+
+        Builds an :class:`~repro.diagnostics.invariants.InvariantSuite`
+        bound to this executor (replacing any previous suite) and returns
+        it.  Checkers raise
+        :class:`~repro.diagnostics.invariants.InvariantViolation` at the
+        faulty event; see the suite's docs for the three invariants.
+        """
+        from repro.diagnostics.invariants import InvariantSuite
+
+        self._invariants = InvariantSuite(
+            self, round_trip=round_trip, liveness=liveness, aliasing=aliasing
+        )
+        return self._invariants
 
     def stash_bytes(self) -> Dict[str, int]:
         """Measured stash footprint per node after a forward pass."""
@@ -162,15 +210,25 @@ class GraphExecutor:
         self._stash.clear()
         self._decoded.clear()
         self._ctx.clear()
+        tracer = self.tracer
+        checks = self._invariants
+        if checks is not None:
+            # Clear stale stash regions/expectations before the arena makes
+            # last step's buffers rentable again.
+            checks.begin_step()
         # Step boundary: everything rented last step (gradients, encoded
         # stashes, scratch) is dead now, so the pool can recycle it.
         self.arena.reset()
+        if tracer is not None:
+            tracer.begin_step(self.arena)
         self.last_sparsity = {}
         self._loss_node.layer.set_labels(labels)
 
         values: Dict[int, np.ndarray] = {
             self.graph.input_id: images.astype(np.float32, copy=False)
         }
+        if checks is not None:
+            checks.on_forward(self.graph.node(self.graph.input_id))
         self._maybe_stash(self.graph.node(self.graph.input_id),
                           values[self.graph.input_id])
         loss = 0.0
@@ -180,7 +238,17 @@ class GraphExecutor:
             ctx = _Context(self, node)
             self._ctx[node.node_id] = ctx
             xs = [values[i] for i in node.inputs]
-            y = node.layer.forward(xs, self.params[node.node_id], ctx, train)
+            if checks is not None:
+                checks.on_forward(node)
+            if tracer is not None:
+                t0 = perf_counter()
+                y = node.layer.forward(xs, self.params[node.node_id], ctx,
+                                       train)
+                tracer.record_node(node.name, "forward",
+                                   perf_counter() - t0)
+            else:
+                y = node.layer.forward(xs, self.params[node.node_id], ctx,
+                                       train)
             y = self.policy.transform_forward(y, node)
             values[node.node_id] = y
             if node.kind in _SPARSITY_KINDS:
@@ -196,6 +264,8 @@ class GraphExecutor:
                 raise AssertionError("loss output consumed by another op")
         # Keep the logits (the loss node's input) for accuracy metrics.
         self.last_logits = values[self._loss_node.inputs[0]]
+        if tracer is not None:
+            tracer.record_loss(loss)
         return loss
 
     def _maybe_stash(self, node: OpNode, y: np.ndarray) -> None:
@@ -203,7 +273,18 @@ class GraphExecutor:
             return
         encoding = self.policy.encoding_for(self.graph, node.node_id)
         encoding.bind_arena(self.arena if self.kernels_enabled else None)
-        self._stash[node.node_id] = (encoding, encoding.encode(y))
+        tracer = self.tracer
+        if tracer is not None:
+            t0 = perf_counter()
+            encoded = encoding.encode(y)
+            tracer.record_encode(node.name, encoding.name, y.nbytes,
+                                 encoding.measure_bytes(encoded),
+                                 perf_counter() - t0)
+        else:
+            encoded = encoding.encode(y)
+        if self._invariants is not None:
+            self._invariants.on_stash_encoded(node, y, encoding, encoded)
+        self._stash[node.node_id] = (encoding, encoded)
 
     def backward(self) -> Dict[str, np.ndarray]:
         """Run the backward pass; returns flat parameter gradients."""
@@ -219,6 +300,8 @@ class GraphExecutor:
         owned: set = set()
         param_grads: Dict[str, np.ndarray] = {}
         self._decoded.clear()
+        tracer = self.tracer
+        checks = self._invariants
         for node in reversed(self.graph.nodes):
             if node.node_id == self.graph.input_id:
                 continue
@@ -227,9 +310,19 @@ class GraphExecutor:
                 # Node not on the loss path (cannot happen for our models,
                 # but a disconnected diagnostics op would land here).
                 continue
-            dxs, dparams = node.layer.backward(
-                dy, self.params[node.node_id], self._ctx[node.node_id]
-            )
+            if checks is not None:
+                checks.on_backward(node)
+            if tracer is not None:
+                t0 = perf_counter()
+                dxs, dparams = node.layer.backward(
+                    dy, self.params[node.node_id], self._ctx[node.node_id]
+                )
+                tracer.record_node(node.name, "backward",
+                                   perf_counter() - t0)
+            else:
+                dxs, dparams = node.layer.backward(
+                    dy, self.params[node.node_id], self._ctx[node.node_id]
+                )
             if len(dxs) != len(node.inputs):
                 raise RuntimeError(
                     f"{node.name}: backward returned {len(dxs)} gradients "
@@ -252,6 +345,10 @@ class GraphExecutor:
             for pname, grad in dparams.items():
                 param_grads[f"{node.name}.{pname}"] = grad
         self.input_gradient = grads_out.get(self.graph.input_id)
+        if checks is not None:
+            checks.end_step()
+        if tracer is not None:
+            tracer.end_step(self.arena)
         return param_grads
 
     # ------------------------------------------------------------------

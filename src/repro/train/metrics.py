@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -15,7 +17,17 @@ def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
 
 
 def accuracy_loss(acc: float) -> float:
-    """The paper's Figure 12 y-axis: ``100% - accuracy`` as a fraction."""
+    """The paper's Figure 12 y-axis: ``100% - accuracy`` as a fraction.
+
+    Values within one ulp outside [0, 1] — exact-arithmetic artifacts such
+    as ``mean()`` of per-batch accuracies returning 1.0000000000000002 —
+    are clamped to the boundary; anything further out is still rejected.
+    """
+    ulp = math.ulp(1.0)
+    if 1.0 < acc <= 1.0 + ulp:
+        acc = 1.0
+    elif -ulp <= acc < 0.0:
+        acc = 0.0
     if not 0.0 <= acc <= 1.0:
         raise ValueError(f"accuracy must be in [0, 1], got {acc}")
     return 1.0 - acc

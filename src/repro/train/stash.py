@@ -44,6 +44,10 @@ class StashPolicy(abc.ABC):
     def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
         """Encoding for the feature map produced by ``node_id``."""
 
+    def describe(self) -> str:
+        """Short policy label used in traces, digests and reports."""
+        return type(self).__name__.lower()
+
     def transform_forward(self, y: np.ndarray, node: OpNode) -> np.ndarray:
         """Hook applied to every layer output before consumers see it."""
         return y
@@ -66,6 +70,10 @@ class BaselinePolicy(StashPolicy):
 
     def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
         return self._identity
+
+    def describe(self) -> str:
+        """Label: ``"baseline"``."""
+        return "baseline"
 
 
 class GistPolicy(StashPolicy):
@@ -93,6 +101,12 @@ class GistPolicy(StashPolicy):
 
     def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
         return self._table.get(node_id, self._identity)
+
+    def describe(self) -> str:
+        """Label: ``"gist-lossless"`` or ``"gist-<dpr format>"``."""
+        if not self.config.dpr:
+            return "gist-lossless"
+        return f"gist-{self.config.dpr_format}"
 
 
 class UniformReductionPolicy(StashPolicy):
@@ -125,6 +139,10 @@ class UniformReductionPolicy(StashPolicy):
             return dx
         return quantize(dx, self.dtype)
 
+    def describe(self) -> str:
+        """Label: ``"uniform-<format>"``."""
+        return f"uniform-{self.dtype.name}"
+
 
 class AllFP16Policy(UniformReductionPolicy):
     """The paper's "All-FP16" arm: uniform FP16 in the forward pass."""
@@ -151,3 +169,7 @@ class GradientOnlyReductionPolicy(StashPolicy):
 
     def transform_gradient(self, dx: np.ndarray, node: OpNode) -> np.ndarray:
         return quantize(dx, self.dtype)
+
+    def describe(self) -> str:
+        """Label: ``"grad-only-<format>"``."""
+        return f"grad-only-{self.dtype.name}"

@@ -67,6 +67,9 @@ class Trainer:
         policy: Stash policy; ``None`` selects the FP32 baseline.
         optimizer: Defaults to SGD(lr=0.05, momentum=0.9).
         seed: Controls parameter init and minibatch shuffling.
+        tracer: Optional :class:`~repro.diagnostics.tracer.StepTracer`
+            attached to the executor; records one step record per
+            training minibatch (and per evaluation forward).
     """
 
     def __init__(
@@ -75,9 +78,10 @@ class Trainer:
         policy: Optional[StashPolicy] = None,
         optimizer: Optional[SGD] = None,
         seed: int = 0,
+        tracer=None,
     ):
         self.graph = graph
-        self.executor = GraphExecutor(graph, policy, seed=seed)
+        self.executor = GraphExecutor(graph, policy, seed=seed, tracer=tracer)
         self.optimizer = optimizer or SGD(lr=0.05, momentum=0.9)
         self._shuffle_rng = np.random.default_rng(seed + 1)
         self.batch_size = graph.node(graph.input_id).output_shape[0]

@@ -1,0 +1,1 @@
+"""Tests for the diagnostics layer: tracer, digests, goldens, invariants."""

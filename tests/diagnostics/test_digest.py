@@ -1,0 +1,116 @@
+"""Digest determinism and golden-trace save/compare round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import (
+    StepTracer,
+    TraceDigest,
+    array_digest,
+    load_golden,
+    mapping_digest,
+    run_traced,
+    step_digest,
+)
+
+
+class TestArrayDigest:
+    def test_bit_identical_arrays_digest_equal(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_single_bit_flip_changes_digest(self):
+        a = np.arange(12, dtype=np.float32)
+        b = a.copy()
+        b.view(np.uint32)[5] ^= np.uint32(1)
+        assert array_digest(a) != array_digest(b)
+
+    def test_dtype_and_shape_are_part_of_identity(self):
+        a = np.zeros(8, dtype=np.float32)
+        assert array_digest(a) != array_digest(a.astype(np.float64))
+        assert array_digest(a) != array_digest(a.reshape(2, 4))
+
+    def test_non_contiguous_views_digest_by_value(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        view = a[:, ::2]
+        assert array_digest(view) == array_digest(np.ascontiguousarray(view))
+
+
+class TestMappingDigest:
+    def test_order_independent(self):
+        arrays = {"a": np.ones(3), "b": np.zeros(2)}
+        swapped = dict(reversed(list(arrays.items())))
+        assert mapping_digest(arrays) == mapping_digest(swapped)
+
+    def test_name_is_part_of_identity(self):
+        x = np.ones(3)
+        assert mapping_digest({"a": x}) != mapping_digest({"b": x})
+
+
+class TestStepDigest:
+    def test_equality_is_field_wise(self):
+        grads = {"w": np.ones(2, np.float32)}
+        stash = {"relu1": np.zeros(2, np.float32)}
+        assert step_digest(0.5, grads, stash) == step_digest(0.5, grads, stash)
+        assert step_digest(0.5, grads, stash) != step_digest(
+            0.5, grads, {"relu1": np.ones(2, np.float32)}
+        )
+
+
+class TestGoldenRoundTrip:
+    def test_save_load_compare(self, tmp_path):
+        digest = run_traced("tiny_cnn", "gist-lossless", steps=2)
+        path = digest.save_golden(tmp_path / "golden.json")
+        loaded = load_golden(path)
+        assert loaded == digest
+        comparison = digest.compare_golden(path)
+        assert comparison
+        assert comparison.mismatches == ()
+
+    def test_compare_reports_mismatched_arm(self, tmp_path):
+        golden = run_traced("tiny_cnn", "gist-lossless", steps=2)
+        path = golden.save_golden(tmp_path / "golden.json")
+        other = run_traced("tiny_cnn", "baseline", steps=2)
+        comparison = other.compare_golden(path)
+        assert not comparison
+        assert any("policy" in m for m in comparison.mismatches)
+        # Baseline and Gist-lossless train bit-identically, but the stash
+        # contents (raw FP32 vs decoded masks) legitimately differ.
+        assert any("stash_hash" in m for m in comparison.mismatches)
+        assert not any("loss_hash" in m for m in comparison.mismatches)
+
+    def test_compare_reports_step_count_drift(self, tmp_path):
+        golden = run_traced("tiny_cnn", "baseline", steps=2)
+        path = golden.save_golden(tmp_path / "golden.json")
+        longer = run_traced("tiny_cnn", "baseline", steps=3)
+        comparison = longer.compare_golden(path)
+        assert not comparison
+        assert any("step count" in m for m in comparison.mismatches)
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        digest = run_traced("tiny_cnn", "baseline", steps=1)
+        path = digest.save_golden(tmp_path / "golden.json")
+        data = path.read_text().replace('"format": 1', '"format": 99')
+        path.write_text(data)
+        with pytest.raises(ValueError, match="golden format"):
+            load_golden(path)
+
+
+class TestDigestStability:
+    def test_repeat_runs_digest_identically(self):
+        first = run_traced("tiny_cnn", "gist-lossless", steps=3, seed=0)
+        second = run_traced("tiny_cnn", "gist-lossless", steps=3, seed=0)
+        assert first == second
+
+    def test_seed_changes_digest(self):
+        base = run_traced("tiny_cnn", "baseline", steps=1, seed=0)
+        other = run_traced("tiny_cnn", "baseline", steps=1, seed=7)
+        assert base.steps[0] != other.steps[0]
+
+    def test_tracer_and_invariants_do_not_perturb_digest(self):
+        plain = run_traced("tiny_cnn", "gist-lossless", steps=2)
+        observed = run_traced(
+            "tiny_cnn", "gist-lossless", steps=2,
+            tracer=StepTracer(), check_invariants=True,
+        )
+        assert plain == observed

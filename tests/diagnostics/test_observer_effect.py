@@ -1,0 +1,36 @@
+"""No observer effect: diagnostics must never perturb training numerics."""
+
+import numpy as np
+
+from repro.diagnostics import StepTracer
+from repro.models import tiny_cnn
+from repro.train import SGD, Trainer, make_synthetic
+from repro.train.stash import GistPolicy
+from repro.core.policy import GistConfig
+
+
+def _train(tracer=None):
+    graph = tiny_cnn(batch_size=16, num_classes=4, image_size=8)
+    policy = GistPolicy(graph, GistConfig.lossless())
+    trainer = Trainer(graph, policy, SGD(lr=0.05, momentum=0.9), seed=0,
+                      tracer=tracer)
+    train, test = make_synthetic(96, 4, 8, seed=1)
+    result = trainer.train(train, test, epochs=2)
+    params = {
+        name: arr.copy()
+        for name, arr in trainer.executor.parameters().items()
+    }
+    return result, params
+
+
+class TestNoObserverEffect:
+    def test_traced_training_is_bit_identical(self):
+        plain_result, plain_params = _train(tracer=None)
+        traced_result, traced_params = _train(tracer=StepTracer())
+        assert plain_result.epoch_losses == traced_result.epoch_losses
+        assert plain_result.test_accuracy == traced_result.test_accuracy
+        assert plain_params.keys() == traced_params.keys()
+        for name in plain_params:
+            np.testing.assert_array_equal(
+                plain_params[name], traced_params[name]
+            )

@@ -1,0 +1,92 @@
+"""Property tests for DPR's minifloat error bounds and fidelity ordering.
+
+Two facts every Figure 12 claim leans on, checked over the whole float32
+domain with Hypothesis:
+
+* **ULP bound** — for values inside a format's normal range, quantisation
+  error is at most half a unit in the last place, i.e. relative error
+  ``<= 2 ** -(mantissa_bits + 1)``.
+* **Monotone fidelity** — FP16 is pointwise at least as faithful as FP10,
+  which is at least as faithful as FP8.  This holds because the three
+  mantissa grids are nested (same exponent width for FP16/FP10; FP8's
+  narrower exponent only flushes/clamps *more*), so dropping mantissa or
+  exponent bits can only move a value further from its FP32 original.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import FP8, FP10, FP16
+from repro.encodings.floatsim import max_relative_error, quantize
+
+DPR_DTYPES = [FP16, FP10, FP8]
+
+_F32_MAX = float(np.finfo(np.float32).max)
+finite_f32 = st.floats(
+    min_value=-_F32_MAX, max_value=_F32_MAX, width=32, allow_nan=False
+)
+
+
+def _q(x, dtype):
+    """Scalar round-trip through ``dtype`` (quantize wants >= 1-d arrays)."""
+    return float(quantize(np.array([x], dtype=np.float32), dtype)[0])
+
+
+def _in_range(dtype):
+    """Strategy for magnitudes in ``dtype``'s normal (non-flushed) range."""
+    lo, hi = dtype.min_normal, dtype.max_finite
+    mag = st.floats(min_value=lo, max_value=hi, width=32)
+    return st.tuples(st.sampled_from([1.0, -1.0]), mag).map(
+        lambda sm: np.float32(sm[0] * sm[1])
+    )
+
+
+class TestUlpBound:
+    @pytest.mark.parametrize("dtype", DPR_DTYPES, ids=lambda d: d.name)
+    def test_half_ulp_relative_error(self, dtype):
+        @settings(max_examples=300)
+        @given(_in_range(dtype))
+        def check(x):
+            q = _q(x, dtype)
+            rel = abs(q - float(x)) / abs(float(x))
+            # A hair of slack: the bound itself is exact only in real
+            # arithmetic; the division above rounds once in float64.
+            assert rel <= max_relative_error(dtype) * (1 + 1e-12)
+
+        check()
+
+    @pytest.mark.parametrize("dtype", DPR_DTYPES, ids=lambda d: d.name)
+    def test_out_of_range_clamps_and_flushes(self, dtype):
+        big = np.float32(dtype.max_finite * 4)
+        assert _q(big, dtype) == dtype.max_finite
+        assert _q(-big, dtype) == -dtype.max_finite
+        tiny = np.float32(dtype.min_normal / 2)
+        assert _q(tiny, dtype) == 0.0
+
+
+class TestMonotoneFidelity:
+    @given(finite_f32)
+    @settings(max_examples=500)
+    def test_error_nonincreasing_with_width(self, x):
+        errs = [abs(_q(x, d) - float(np.float32(x))) for d in DPR_DTYPES]
+        assert errs[0] <= errs[1] <= errs[2]  # FP16 <= FP10 <= FP8
+
+    @given(finite_f32)
+    @settings(max_examples=200)
+    def test_idempotent(self, x):
+        arr = np.array([x], dtype=np.float32)
+        for dtype in DPR_DTYPES:
+            once = quantize(arr, dtype)
+            np.testing.assert_array_equal(once, quantize(once, dtype))
+
+    @given(st.lists(finite_f32, min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_elementwise_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.float32)
+        for dtype in DPR_DTYPES:
+            batch = quantize(arr, dtype)
+            singles = np.array(
+                [_q(v, dtype) for v in values], dtype=np.float32
+            )
+            np.testing.assert_array_equal(batch, singles)

@@ -64,3 +64,38 @@ class TestCLITimeline:
         out = capsys.readouterr().out
         assert "baseline:" in out
         assert "gist:" in out
+
+
+class TestCLITrace:
+    def test_trace_prints_step_table(self, capsys):
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out and "ratio" in out
+        assert len([l for l in out.splitlines() if l.strip()]) >= 4
+
+    def test_trace_with_invariants(self, capsys):
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "1",
+                     "--check-invariants"]) == 0
+        assert "invariants" in capsys.readouterr().out
+
+    def test_trace_golden_round_trip(self, tmp_path, capsys):
+        golden = str(tmp_path / "g.json")
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "2",
+                     "--save-golden", golden]) == 0
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "2",
+                     "--compare-golden", golden]) == 0
+        assert "golden match" in capsys.readouterr().out
+
+    def test_trace_golden_mismatch_exits_nonzero(self, tmp_path, capsys):
+        golden = str(tmp_path / "g.json")
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "2",
+                     "--policy", "gist-lossless",
+                     "--save-golden", golden]) == 0
+        assert main(["trace", "--model", "tiny_cnn", "--steps", "2",
+                     "--policy", "gist-fp8",
+                     "--compare-golden", golden]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_trace_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--policy", "gist-fp99"])

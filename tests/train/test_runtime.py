@@ -301,6 +301,18 @@ class TestMetrics:
         with pytest.raises(ValueError):
             accuracy_loss(1.5)
 
+    def test_accuracy_loss_clamps_float_artifacts(self):
+        # mean() over per-batch accuracies can come out one ulp past the
+        # boundary; that is a rounding artifact, not a caller bug.
+        import math
+
+        assert accuracy_loss(1.0 + math.ulp(1.0)) == 0.0
+        assert accuracy_loss(-math.ulp(1.0)) == 1.0
+        with pytest.raises(ValueError):
+            accuracy_loss(1.0 + 3 * math.ulp(1.0))
+        with pytest.raises(ValueError):
+            accuracy_loss(-3 * math.ulp(1.0))
+
 
 class TestGradientOnlyPolicy:
     def test_forward_untouched(self):
