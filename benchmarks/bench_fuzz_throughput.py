@@ -1,0 +1,92 @@
+"""Throughput benchmark for the differential fuzzing battery.
+
+The fuzz smoke batch sits in tier-1, so its cost per seed is a budget
+the verify layer must hold: one seed is a full oracle battery (graph
+generation, three-policy allocation, three Gist plans, decision-byte
+measurement and the codec round-trip sweep).  This benchmark measures
+
+* **graph generation rate** — ``GraphFuzzer`` alone, and
+* **verification rate** — ``verify_seed`` end to end,
+
+then gates on the end-to-end rate staying above ``MIN_SEEDS_PER_S``
+(set ~5x below the observed ~40/s so only a real structural slowdown,
+not machine noise, trips it).  A correctness sanity check rides along:
+every benchmarked seed must verify clean.
+
+Writes machine-readable results to ``BENCH_fuzz_throughput.json`` at the
+repo root (or the path given as argv[1]) and prints a summary.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.verify import GraphFuzzer, verify_seed
+
+NUM_SEEDS = 60
+WARMUP_SEEDS = 5
+MIN_SEEDS_PER_S = 8.0
+
+
+def _time_generation(seeds) -> float:
+    t0 = time.perf_counter()
+    total_nodes = 0
+    for seed in seeds:
+        total_nodes += len(GraphFuzzer(seed).graph().nodes)
+    elapsed = time.perf_counter() - t0
+    return elapsed, total_nodes
+
+
+def _time_verification(seeds) -> float:
+    t0 = time.perf_counter()
+    violations = 0
+    for seed in seeds:
+        violations += len(verify_seed(seed))
+    return time.perf_counter() - t0, violations
+
+
+def main(out_path: str = "BENCH_fuzz_throughput.json") -> dict:
+    seeds = range(NUM_SEEDS)
+    for seed in range(WARMUP_SEEDS):
+        verify_seed(seed)
+
+    gen_s, total_nodes = _time_generation(seeds)
+    verify_s, violations = _time_verification(seeds)
+
+    report = {
+        "benchmark": "fuzz_throughput",
+        "num_seeds": NUM_SEEDS,
+        "total_nodes": total_nodes,
+        "generation_s": gen_s,
+        "verification_s": verify_s,
+        "graphs_per_s": NUM_SEEDS / gen_s,
+        "seeds_verified_per_s": NUM_SEEDS / verify_s,
+        "min_seeds_per_s": MIN_SEEDS_PER_S,
+        "violations": violations,
+        "gates_passed": (NUM_SEEDS / verify_s >= MIN_SEEDS_PER_S
+                         and violations == 0),
+    }
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"graph generation:  {report['graphs_per_s']:8.1f} graphs/s "
+          f"({total_nodes / NUM_SEEDS:.1f} nodes/graph)")
+    print(f"full battery:      {report['seeds_verified_per_s']:8.1f} seeds/s "
+          f"(gate >= {MIN_SEEDS_PER_S:.0f}/s)")
+    print(f"violations:        {violations}")
+    print(f"gates passed:      {report['gates_passed']}")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    report = main(
+        sys.argv[1] if len(sys.argv) > 1 else "BENCH_fuzz_throughput.json"
+    )
+    sys.exit(0 if report["gates_passed"] else 1)

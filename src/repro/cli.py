@@ -10,6 +10,9 @@ Commands:
 * ``train`` — a one-minute scaled training demo across stash policies.
 * ``trace`` — traced golden-recipe run: per-step timing/compression
   table, optional invariant checking, golden save/compare.
+* ``fuzz`` — differential fuzzing: random graphs through the
+  allocator/plan/encoding oracles; exit 1 with a minimized repro on the
+  first violation.
 """
 
 from __future__ import annotations
@@ -169,6 +172,36 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import run_fuzz
+
+    report = run_fuzz(
+        args.seeds,
+        start_seed=args.start_seed,
+        max_ops=args.max_ops,
+        stop_on_first=not args.keep_going,
+        strict=args.strict,
+    )
+    print(f"seeds run:       {report.seeds_run}")
+    print(f"graphs verified: {report.graphs_verified}")
+    if report.ok:
+        print("violations:      none")
+        return 0
+    print(f"violations:      {len(report.violations)}")
+    for v in report.violations:
+        subject = f" [{v.subject}]" if v.subject else ""
+        print(f"  {v.oracle} (seed {v.seed}){subject}: {v.detail}")
+    if report.minimized is not None:
+        seed = report.violations[0].seed
+        replay = f"repro fuzz --seeds 1 --start-seed {seed}"
+        if args.strict:
+            replay += " --strict"
+        print(f"\nminimized repro ({len(report.minimized.nodes)} nodes, "
+              f"replay with: {replay}):")
+        print(report.minimized.summary())
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare-golden", metavar="PATH",
                    help="compare against a saved golden; exit 1 on mismatch")
     p.set_defaults(func=cmd_trace)
+
+    from repro.verify.fuzzer import DEFAULT_MAX_OPS
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of plans, "
+                                    "allocators and encodings")
+    p.add_argument("--seeds", type=int, default=100,
+                   help="number of consecutive seeds to verify (default: 100)")
+    p.add_argument("--start-seed", type=int, default=0,
+                   help="first seed (use with --seeds 1 to replay a failure)")
+    p.add_argument("--max-ops", type=int, default=DEFAULT_MAX_OPS,
+                   help=f"op budget per fuzzed graph (default: "
+                        f"{DEFAULT_MAX_OPS})")
+    p.add_argument("--keep-going", action="store_true",
+                   help="collect every violation instead of stopping and "
+                        "minimizing the first one")
+    p.add_argument("--strict", action="store_true",
+                   help="also enforce the heuristic greedy-size <= first-fit "
+                        "ordering (known to fail on some fan-out graphs)")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -18,6 +18,7 @@ from repro.core.policy import GistConfig
 from repro.diagnostics.digest import TraceDigest, capture_digest
 from repro.diagnostics.tracer import StepTracer
 from repro.dtypes import DPR_FORMATS
+from repro.encodings.groupquant import GroupQuantPolicy
 from repro.graph.graph import Graph
 from repro.models import build_model
 from repro.train.executor import GraphExecutor
@@ -54,7 +55,7 @@ GOLDEN_POLICIES: Tuple[str, ...] = ("baseline", "gist-lossless")
 #: Policy names accepted by :func:`build_trace_policy`.
 TRACE_POLICIES: Tuple[str, ...] = (
     "baseline", "gist-lossless", "gist-fp16", "gist-fp10", "gist-fp8",
-    "uniform-fp16",
+    "uniform-fp16", "groupquant", "groupquant-int8",
 )
 
 
@@ -72,6 +73,10 @@ def build_trace_policy(name: str, graph: Graph) -> StashPolicy:
         return GistPolicy(graph, GistConfig.full(name[5:]))
     if name.startswith("uniform-") and name[8:] in DPR_FORMATS:
         return UniformReductionPolicy(DPR_FORMATS[name[8:]])
+    if name == "groupquant":
+        return GroupQuantPolicy(bits=4)
+    if name.startswith("groupquant-int"):
+        return GroupQuantPolicy(bits=int(name[len("groupquant-int"):]))
     raise KeyError(f"unknown trace policy {name!r}; known: {TRACE_POLICIES}")
 
 

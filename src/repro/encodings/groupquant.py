@@ -73,8 +73,14 @@ class GroupQuantEncoding(Encoding):
         flat = np.asarray(x, dtype=np.float32).ravel()
         n = flat.size
         groups = -(-n // self.group_size)
-        padded = np.zeros(groups * self.group_size, dtype=np.float32)
+        padded = np.empty(groups * self.group_size, dtype=np.float32)
         padded[:n] = flat
+        # Pad the ragged tail with the last *real* value: it already
+        # belongs to the last group, so per-group min/max — and hence the
+        # quantisation grid — are computed over real values only.  (Zero
+        # padding would drag lo/hi towards 0 and collapse the last
+        # group's grid whenever its values live far from zero.)
+        padded[n:] = flat[n - 1] if n else 0.0
         mat = padded.reshape(groups, self.group_size)
         lo = mat.min(axis=1)
         hi = mat.max(axis=1)
@@ -138,6 +144,10 @@ class GroupQuantPolicy:
         if node_id == graph.input_id:
             return self._identity
         return self._encoding
+
+    def describe(self) -> str:
+        """Label: ``"groupquant-int<bits>"`` (traces, digests, reports)."""
+        return self._encoding.name
 
     def transform_forward(self, y, node):
         """Forward pass stays exact (delayed reduction)."""

@@ -204,7 +204,12 @@ class BitmapTensor:
 
 
 def bitmap_encode(x: np.ndarray) -> BitmapTensor:
-    """Encode with a positivity bitmap + dense value list (ablation format)."""
+    """Encode with a *nonzero-occupancy* bitmap + packed value list.
+
+    One bit per element marks whether it is nonzero (sign plays no role —
+    negative values are stored too); the values array then holds exactly
+    the nonzero entries in flat order.  Format-choice ablation vs CSR.
+    """
     flat = np.asarray(x, dtype=np.float32).ravel()
     mask = flat != 0
     return BitmapTensor(pack_bits(mask), flat[mask], tuple(x.shape))

@@ -82,8 +82,14 @@ class StaticAllocator:
     Args:
         policy: One of ``"greedy-size"`` (the CNTK policy), ``"first-fit"``
             (no size sorting — ablation) or ``"none"`` (no sharing).
-        horizon: Schedule length; used to size the per-group occupancy
-            bitmaps.  Inferred from the tensors if omitted.
+        horizon: Schedule length, used only to *validate* that every
+            tensor's lifetime fits the schedule (``allocate`` raises if a
+            death reaches past it).  Inferred from the tensors if omitted;
+            pass it explicitly when allocating a subset of a plan so the
+            check still sees the full schedule.  (Overlap testing itself
+            needs no occupancy structure: each group keeps its member
+            intervals as sorted birth/death lists and two bisects decide
+            whether a candidate interval fits.)
     """
 
     def __init__(self, policy: str = POLICY_GREEDY_SIZE, horizon: int = 0):

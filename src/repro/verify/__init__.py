@@ -1,0 +1,59 @@
+"""Differential fuzzing and oracle subsystem (the standing correctness
+gate).
+
+Gist's correctness claim is structural — shortened lifetimes shared by an
+allocator that never aliases two live tensors — and this package checks
+that claim on graphs nobody hand-wrote.  See
+:mod:`repro.verify.runner` for the oracle table and the ``repro fuzz``
+CLI for the command-line entry point.
+"""
+
+from repro.verify.fuzzer import DEFAULT_MAX_OPS, GraphFuzzer, fuzz_graphs
+from repro.verify.oracles import (
+    ORACLE_ALLOCATOR_SAFETY,
+    ORACLE_DECISION_BYTES,
+    ORACLE_PLAN_SAFETY,
+    ORACLE_POLICY_BOUNDS,
+    ORACLE_ROUNDTRIP,
+    Violation,
+    check_allocator_safety,
+    check_decision_bytes,
+    check_measured_bytes,
+    check_plan_safety,
+    check_policy_bounds,
+    check_roundtrip,
+    interval_clique_bound,
+)
+from repro.verify.runner import (
+    FuzzReport,
+    minimize,
+    run_fuzz,
+    verify_encodings,
+    verify_graph,
+    verify_seed,
+)
+
+__all__ = [
+    "DEFAULT_MAX_OPS",
+    "FuzzReport",
+    "GraphFuzzer",
+    "ORACLE_ALLOCATOR_SAFETY",
+    "ORACLE_DECISION_BYTES",
+    "ORACLE_PLAN_SAFETY",
+    "ORACLE_POLICY_BOUNDS",
+    "ORACLE_ROUNDTRIP",
+    "Violation",
+    "check_allocator_safety",
+    "check_decision_bytes",
+    "check_measured_bytes",
+    "check_plan_safety",
+    "check_policy_bounds",
+    "check_roundtrip",
+    "fuzz_graphs",
+    "interval_clique_bound",
+    "minimize",
+    "run_fuzz",
+    "verify_encodings",
+    "verify_graph",
+    "verify_seed",
+]

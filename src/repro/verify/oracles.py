@@ -1,0 +1,545 @@
+"""Differential oracles for plans, allocators and encodings.
+
+Each oracle is a pure function from finished artifacts (an
+:class:`~repro.memory.allocator.AllocationResult`, a
+:class:`~repro.core.schedule_builder.GistPlan`, a codec plus input) to a
+list of :class:`Violation`.  Keeping them artifact-level rather than
+end-to-end is what makes the fault-injection tests possible: a test can
+corrupt one group/death/codec and assert the matching oracle — and only
+it — fires.
+
+The checks are *differential* where it matters: plan deaths are compared
+against an independent reimplementation of the last-use computation (not
+against the Schedule Builder's own helpers), allocator totals across
+policies are compared against each other, and static totals are compared
+against the dynamic simulator and an interval max-clique lower bound that
+is recomputed here from raw ``[birth, death]`` intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.schedule_builder import (
+    ENC_BINARIZE,
+    ENC_DPR,
+    ENC_SSDC,
+    GistPlan,
+)
+from repro.dtypes import DPR_FORMATS
+from repro.encodings.base import Encoding
+from repro.encodings.binarize import BinarizeEncoding
+from repro.encodings.dpr import DPREncoding
+from repro.encodings.floatsim import max_relative_error
+from repro.encodings.groupquant import GroupQuantEncoding, GroupQuantTensor
+from repro.encodings.ssdc import SSDCEncoding, csr_bytes
+from repro.graph.liveness import (
+    LiveTensor,
+    ROLE_DECODED,
+    ROLE_ENCODED,
+    ROLE_FEATURE_MAP,
+)
+from repro.memory.allocator import AllocationResult
+
+# Oracle identifiers (stable strings used in reports and tests).
+ORACLE_ALLOCATOR_SAFETY = "allocator-safety"
+ORACLE_POLICY_BOUNDS = "policy-bounds"
+ORACLE_PLAN_SAFETY = "plan-safety"
+ORACLE_DECISION_BYTES = "decision-bytes"
+ORACLE_ROUNDTRIP = "encoding-roundtrip"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, with enough context to reproduce it."""
+
+    oracle: str
+    detail: str
+    seed: Optional[int] = None
+    subject: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.subject}]" if self.subject else ""
+        seed = f" (seed {self.seed})" if self.seed is not None else ""
+        return f"{self.oracle}{where}{seed}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# (a) Allocator safety
+# ----------------------------------------------------------------------
+def check_allocator_safety(
+    result: AllocationResult, tensors: Sequence[LiveTensor]
+) -> List[Violation]:
+    """No two live-overlapping tensors may share an AllocationGroup.
+
+    Also checks coverage (every input tensor landed in exactly one group)
+    and that non-shareable tensors received dedicated groups.
+    """
+    violations: List[Violation] = []
+    seen: Dict[str, int] = {}
+    for gi, group in enumerate(result.groups):
+        members = sorted(group.members, key=lambda t: (t.birth, t.death))
+        for prev, cur in zip(members, members[1:]):
+            if cur.birth <= prev.death:  # intervals are inclusive
+                violations.append(Violation(
+                    ORACLE_ALLOCATOR_SAFETY,
+                    f"group {gi} ({result.policy}) aliases live tensors "
+                    f"{prev.spec.name!r} [{prev.birth},{prev.death}] and "
+                    f"{cur.spec.name!r} [{cur.birth},{cur.death}]",
+                ))
+        for t in group.members:
+            if not t.shareable and len(group.members) > 1:
+                violations.append(Violation(
+                    ORACLE_ALLOCATOR_SAFETY,
+                    f"non-shareable tensor {t.spec.name!r} placed in "
+                    f"group {gi} with {len(group.members) - 1} other(s)",
+                ))
+            seen[t.spec.name] = seen.get(t.spec.name, 0) + 1
+    for t in tensors:
+        count = seen.get(t.spec.name, 0)
+        if count != 1:
+            violations.append(Violation(
+                ORACLE_ALLOCATOR_SAFETY,
+                f"tensor {t.spec.name!r} appears in {count} groups "
+                f"(expected exactly 1)",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (b) Cross-model bounds
+# ----------------------------------------------------------------------
+def interval_clique_bound(tensors: Sequence[LiveTensor]) -> int:
+    """Max-clique lower bound: peak sum of co-live sizes.
+
+    For interval graphs the max clique is attained at some interval's
+    birth point, so scanning births is exact — and independent of the
+    sweep implementation in :mod:`repro.memory.dynamic`.
+    """
+    best = 0
+    for t in tensors:
+        at = t.birth
+        total = sum(
+            o.size_bytes for o in tensors if o.birth <= at <= o.death
+        )
+        best = max(best, total)
+    return best
+
+
+def check_policy_bounds(
+    totals_by_policy: Dict[str, int],
+    static_total: int,
+    dynamic_peak: int,
+    clique_bound: int,
+    strict: bool = False,
+) -> List[Violation]:
+    """Orderings a correct allocator stack must satisfy.
+
+    Hard legs (theorems — a violation is always a bug):
+
+    * every sharing policy ``<= none`` on total bytes (a group's region is
+      its largest member, never the sum);
+    * ``static total >= dynamic peak >= max-clique bound`` (a static
+      assignment can never beat the peak of live bytes, which in turn is
+      an interval max clique).
+
+    Strict leg (``strict=True``): ``greedy-size <= first-fit``.  This is
+    NOT a theorem — a finding of this very fuzzer: on ~10% of fan-out
+    graphs the insertion-order first-fit (close to the optimal left-edge
+    packing, since the liveness table is roughly birth-sorted) beats the
+    CNTK size-sorted heuristic by 1-10%.  On the paper's chain-dominated
+    models greedy always wins, which is why hand-written tests never saw
+    it.  ``tests/verify/test_fuzzer.py`` pins a counterexample seed.
+    """
+    violations: List[Violation] = []
+    greedy = totals_by_policy.get("greedy-size")
+    first_fit = totals_by_policy.get("first-fit")
+    none = totals_by_policy.get("none")
+    if (strict and greedy is not None and first_fit is not None
+            and greedy > first_fit):
+        violations.append(Violation(
+            ORACLE_POLICY_BOUNDS,
+            f"greedy-size total {greedy} > first-fit total {first_fit}",
+        ))
+    for policy in ("greedy-size", "first-fit"):
+        total = totals_by_policy.get(policy)
+        if total is not None and none is not None and total > none:
+            violations.append(Violation(
+                ORACLE_POLICY_BOUNDS,
+                f"{policy} total {total} > no-sharing total {none}",
+            ))
+    if static_total < dynamic_peak:
+        violations.append(Violation(
+            ORACLE_POLICY_BOUNDS,
+            f"static total {static_total} < dynamic peak {dynamic_peak}",
+        ))
+    if dynamic_peak < clique_bound:
+        violations.append(Violation(
+            ORACLE_POLICY_BOUNDS,
+            f"dynamic peak {dynamic_peak} < interval clique bound "
+            f"{clique_bound}",
+        ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (c) Plan safety
+# ----------------------------------------------------------------------
+def _independent_uses(graph, schedule, node_id: int, pools_rewritten: bool):
+    """(last_fwd, first_bwd, last_bwd) recomputed from first principles.
+
+    Deliberately *not* shared with the Schedule Builder: this is the
+    differential half of the plan oracle, derived directly from the
+    schedule clock and each layer's backward-dependence flags (with the
+    argmax rewrite wiping a max-pool's X/Y needs when Binarize is on).
+    """
+    node = graph.node(node_id)
+    last_fwd = schedule.forward_time(node_id)
+    bwd: List[int] = []
+    for consumer in graph.consumers(node_id):
+        last_fwd = max(last_fwd, schedule.forward_time(consumer.node_id))
+        needs_in = consumer.layer.backward_needs_input
+        if pools_rewritten and getattr(consumer.layer, "supports_argmax_map",
+                                       False):
+            needs_in = False
+        if needs_in and schedule.has_backward(consumer.node_id):
+            bwd.append(schedule.backward_time(consumer.node_id))
+    needs_out = node.layer.backward_needs_output
+    if pools_rewritten and getattr(node.layer, "supports_argmax_map", False):
+        needs_out = False
+    if needs_out and schedule.has_backward(node_id):
+        bwd.append(schedule.backward_time(node_id))
+    if node_id == graph.output_id and schedule.has_backward(node_id):
+        bwd.append(schedule.backward_time(node_id))
+    if not bwd:
+        return last_fwd, None, None
+    return last_fwd, min(bwd), max(bwd)
+
+
+def check_plan_safety(
+    gist_plan: GistPlan, baseline_allocated: Optional[int] = None,
+    gist_allocated: Optional[int] = None,
+) -> List[Violation]:
+    """The Schedule Builder must never kill a buffer before its last use.
+
+    For every node: the FP32 feature map must survive to its last forward
+    use; if the stash was *not* encoded, it must additionally survive to
+    its last backward use; if it *was* encoded, the encoded tensor must
+    span ``[<= last_fwd, >= last_bwd]`` and any decoded staging buffer
+    must cover ``[<= first_bwd, >= last_bwd]``.  Optionally also checks
+    that lossless Gist never *increases* the allocated footprint over the
+    baseline (pass both totals).
+    """
+    graph, schedule = gist_plan.graph, gist_plan.schedule
+    pools_rewritten = gist_plan.config.binarize
+    violations: List[Violation] = []
+
+    fm: Dict[int, LiveTensor] = {}
+    enc: Dict[int, LiveTensor] = {}
+    dec: Dict[int, LiveTensor] = {}
+    for t in gist_plan.plan.tensors:
+        if t.role == ROLE_FEATURE_MAP and not t.spec.name.endswith(".dec"):
+            fm[t.node_id] = t
+        elif t.role == ROLE_ENCODED and t.spec.name.endswith(".enc"):
+            enc[t.node_id] = t
+        elif t.role == ROLE_DECODED:
+            dec[t.node_id] = t
+
+    merged_away = {
+        n.node_id for n in graph.nodes if n.node_id not in fm
+    }
+    for node in graph.nodes:
+        nid = node.node_id
+        last_fwd, first_bwd, last_bwd = _independent_uses(
+            graph, schedule, nid, pools_rewritten
+        )
+        decision = gist_plan.decisions.get(nid)
+        t = fm.get(nid)
+        if t is None:
+            # Inplace-merged into a consumer: the consumer's buffer must
+            # cover this node's forward production point instead.
+            if nid in merged_away and gist_plan.config.inplace:
+                continue
+            violations.append(Violation(
+                ORACLE_PLAN_SAFETY,
+                f"feature map of node {node.name!r} missing from plan",
+            ))
+            continue
+        if t.death < last_fwd:
+            violations.append(Violation(
+                ORACLE_PLAN_SAFETY,
+                f"{t.spec.name!r} dies at {t.death} before its last "
+                f"forward use at {last_fwd}",
+            ))
+        if decision is None and last_bwd is not None and t.death < last_bwd:
+            violations.append(Violation(
+                ORACLE_PLAN_SAFETY,
+                f"unencoded stash {t.spec.name!r} dies at {t.death} before "
+                f"its last backward use at {last_bwd}",
+            ))
+        if decision is not None:
+            e = enc.get(nid)
+            if e is None:
+                violations.append(Violation(
+                    ORACLE_PLAN_SAFETY,
+                    f"decision for {node.name!r} has no encoded tensor",
+                ))
+            else:
+                if e.birth > last_fwd:
+                    violations.append(Violation(
+                        ORACLE_PLAN_SAFETY,
+                        f"{e.spec.name!r} born at {e.birth}, after the FP32 "
+                        f"map's last forward use at {last_fwd}",
+                    ))
+                if last_bwd is not None and e.death < last_bwd:
+                    violations.append(Violation(
+                        ORACLE_PLAN_SAFETY,
+                        f"{e.spec.name!r} dies at {e.death} before the last "
+                        f"backward use at {last_bwd}",
+                    ))
+            d = dec.get(nid)
+            if decision.decoded_bytes and d is None:
+                violations.append(Violation(
+                    ORACLE_PLAN_SAFETY,
+                    f"decision for {node.name!r} prices a decoded buffer "
+                    f"but the plan carries none",
+                ))
+            if d is not None and last_bwd is not None:
+                if d.birth > first_bwd or d.death < last_bwd:
+                    violations.append(Violation(
+                        ORACLE_PLAN_SAFETY,
+                        f"{d.spec.name!r} [{d.birth},{d.death}] does not "
+                        f"cover backward uses [{first_bwd},{last_bwd}]",
+                    ))
+    for decision in gist_plan.decisions.values():
+        # A per-decision theorem of the Schedule Builder: it never encodes
+        # a stash into *more* bytes than the FP32 map (SSDC falls back at
+        # its breakeven, Binarize is 1 bit, DPR is sub-32-bit).
+        if decision.encoded_bytes > decision.fp32_bytes:
+            violations.append(Violation(
+                ORACLE_PLAN_SAFETY,
+                f"{decision.node_name}: encoded stash "
+                f"({decision.encoded_bytes} B, {decision.encoding}) larger "
+                f"than the FP32 map it replaces ({decision.fp32_bytes} B)",
+            ))
+    if (baseline_allocated is not None and gist_allocated is not None
+            and not gist_plan.config.dpr):
+        # Lossless Gist must not inflate the shared footprint beyond the
+        # bytes of the structures it *adds* (encoded stashes, argmax maps,
+        # decoded staging).  The allocator is a greedy heuristic, so a few
+        # added tensors can legally perturb grouping by up to their own
+        # size; anything past that means a lifetime was rewritten wrong.
+        added = sum(
+            t.size_bytes for t in gist_plan.plan.tensors
+            if t.role in (ROLE_ENCODED, ROLE_DECODED)
+        )
+        if gist_allocated > baseline_allocated + added:
+            violations.append(Violation(
+                ORACLE_PLAN_SAFETY,
+                f"lossless Gist allocated {gist_allocated} bytes > baseline "
+                f"{baseline_allocated} + added structures {added}",
+            ))
+    return violations
+
+
+def check_decision_bytes(gist_plan: GistPlan, rng=None) -> List[Violation]:
+    """Every priced ``encoded_bytes`` must match a measured ``encode()``.
+
+    Synthesises realistic data per decision (normal activations; for SSDC,
+    with exactly the nonzero count the sparsity model priced) and compares
+    the static size against ``measure_bytes`` of a real encode.
+    """
+    rng = rng or np.random.default_rng(0)
+    config = gist_plan.config
+    dpr_dtype = DPR_FORMATS[config.dpr_format]
+    violations: List[Violation] = []
+    for decision in gist_plan.decisions.values():
+        node = gist_plan.graph.node(decision.node_id)
+        n = 1
+        for dim in node.output_shape:
+            n *= dim
+        if decision.encoding == ENC_BINARIZE:
+            codec: Encoding = BinarizeEncoding()
+            x = rng.normal(0, 1, n).astype(np.float32)
+        elif decision.encoding == ENC_DPR:
+            codec = DPREncoding(dpr_dtype, config.rounding)
+            x = rng.normal(0, 1, n).astype(np.float32)
+        elif decision.encoding == ENC_SSDC:
+            value_dtype = (
+                dpr_dtype if (config.dpr and config.dpr_over_ssdc) else None
+            )
+            codec = SSDCEncoding(cols=config.ssdc_cols,
+                                 value_dtype=value_dtype)
+            nnz = round(n * (1.0 - decision.sparsity))
+            x = np.zeros(n, dtype=np.float32)
+            if nnz:
+                idx = rng.choice(n, size=nnz, replace=False)
+                x[idx] = np.abs(rng.normal(1, 1, nnz)).astype(np.float32) + 0.1
+        else:
+            continue
+        measured = codec.measure_bytes(codec.encode(x))
+        if measured != decision.encoded_bytes:
+            violations.append(Violation(
+                ORACLE_DECISION_BYTES,
+                f"{decision.node_name}: plan prices {decision.encoded_bytes} "
+                f"bytes for {decision.encoding}, measured encode is "
+                f"{measured}",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (d) Encoding round-trips
+# ----------------------------------------------------------------------
+def check_roundtrip(codec: Encoding, x: np.ndarray) -> List[Violation]:
+    """Lossless codecs must be bit-exact; lossy ones within declared bounds.
+
+    * lossless: ``decode(encode(x))`` equals ``expected_decode(x)``
+      bit-for-bit;
+    * DPR (plain or composed over SSDC values): elementwise error within
+      half-ULP of the format for in-range normals, with flush-to-zero
+      below ``min_normal`` and clamping at ``max_finite``;
+    * group quantisation: per-group max error within half a grid step of
+      the group's *real-value* span (the padding-skew regression bound).
+    """
+    violations: List[Violation] = []
+    try:
+        encoded = codec.encode(x)
+        decoded = codec.decode(encoded)
+    except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+        return [Violation(
+            ORACLE_ROUNDTRIP,
+            f"{codec.name} crashed on shape {x.shape}: "
+            f"{type(exc).__name__}: {exc}",
+        )]
+    if codec.lossless:
+        expected = codec.expected_decode(x)
+        if decoded.shape != expected.shape or not np.array_equal(
+            np.asarray(decoded), np.asarray(expected)
+        ):
+            violations.append(Violation(
+                ORACLE_ROUNDTRIP,
+                f"{codec.name} round-trip not bit-exact on shape {x.shape} "
+                f"(max |err| "
+                f"{_max_abs_err(decoded, expected)})",
+            ))
+        return violations
+    if decoded.shape != x.shape:
+        return [Violation(
+            ORACLE_ROUNDTRIP,
+            f"{codec.name} decode shape {decoded.shape} != input {x.shape}",
+        )]
+    if isinstance(codec, DPREncoding):
+        violations += _check_dpr_bound(codec.name, codec.dtype, x, decoded)
+    elif isinstance(codec, SSDCEncoding) and codec.value_dtype is not None:
+        # Dense zeros must stay exactly zero (the meta arrays are never
+        # lossy); stored nonzeros obey the DPR value bound, which itself
+        # allows flush-to-zero below the format's min_normal.
+        spurious = int(np.sum(np.asarray(decoded)[np.asarray(x) == 0] != 0))
+        if spurious:
+            violations.append(Violation(
+                ORACLE_ROUNDTRIP,
+                f"{codec.name} decoded {spurious} nonzero value(s) at "
+                f"dense-zero position(s)",
+            ))
+        nz = x != 0
+        violations += _check_dpr_bound(codec.name, codec.value_dtype,
+                                       x[nz], np.asarray(decoded)[nz])
+    elif isinstance(codec, GroupQuantEncoding):
+        violations += _check_groupquant_bound(codec, x, encoded, decoded)
+    return violations
+
+
+def _max_abs_err(a, b) -> float:
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape or a.size == 0:
+        return float("nan")
+    return float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+
+
+def _check_dpr_bound(name, dtype, x, decoded) -> List[Violation]:
+    if x.size == 0:
+        return []
+    x64 = np.asarray(x, dtype=np.float64).ravel()
+    d64 = np.asarray(decoded, dtype=np.float64).ravel()
+    clipped = np.clip(x64, -dtype.max_finite, dtype.max_finite)
+    rel = max_relative_error(dtype)
+    # In-range normals: half-ULP relative.  Below min_normal: flushed to
+    # zero, so the error can reach the value itself.  The 1.0001 fudge
+    # absorbs float32 arithmetic in the encoder itself.
+    bound = np.maximum(np.abs(clipped) * rel * 1.0001, dtype.min_normal)
+    err = np.abs(d64 - clipped)
+    bad = err > bound
+    if np.any(bad):
+        i = int(np.argmax(err - bound))
+        return [Violation(
+            ORACLE_ROUNDTRIP,
+            f"{name} error {err[i]:.3e} exceeds bound {bound[i]:.3e} at "
+            f"flat index {i} (x={x64[i]:.6e}, decoded={d64[i]:.6e})",
+        )]
+    return []
+
+
+def _check_groupquant_bound(codec: GroupQuantEncoding, x, encoded,
+                            decoded) -> List[Violation]:
+    if x.size == 0:
+        return []
+    flat = np.asarray(x, dtype=np.float64).ravel()
+    dflat = np.asarray(decoded, dtype=np.float64).ravel()
+    levels = (1 << codec.bits) - 1
+    gs = codec.group_size
+    violations: List[Violation] = []
+    for g in range(int(np.ceil(flat.size / gs))):
+        lo_i, hi_i = g * gs, min((g + 1) * gs, flat.size)
+        real = flat[lo_i:hi_i]
+        span = real.max() - real.min()
+        # Half a grid step over the group's REAL values (padding must not
+        # widen the grid), plus float32 slack on scale arithmetic.
+        bound = span / levels * 0.51 + 1e-6 + 1e-5 * max(
+            abs(real.max()), abs(real.min())
+        )
+        err = np.abs(dflat[lo_i:hi_i] - real).max()
+        if err > bound:
+            violations.append(Violation(
+                ORACLE_ROUNDTRIP,
+                f"{codec.name} group {g} error {err:.6f} exceeds "
+                f"span/levels bound {bound:.6f} (span {span:.6f}) — "
+                f"padding-skewed grid?",
+            ))
+    if isinstance(encoded, GroupQuantTensor):
+        expect_groups = int(np.ceil(flat.size / gs))
+        if encoded.scales.size != expect_groups:
+            violations.append(Violation(
+                ORACLE_ROUNDTRIP,
+                f"{codec.name} stored {encoded.scales.size} groups for "
+                f"{flat.size} values (expected {expect_groups})",
+            ))
+    return violations
+
+
+def check_measured_bytes(codec: Encoding, x: np.ndarray) -> List[Violation]:
+    """The static size model must match the measured runtime encode."""
+    ctx = {}
+    if isinstance(codec, SSDCEncoding):
+        ctx["sparsity"] = (
+            float(np.mean(np.asarray(x) == 0)) if x.size else 1.0
+        )
+    try:
+        measured = codec.measure_bytes(codec.encode(x))
+    except Exception as exc:  # noqa: BLE001
+        return [Violation(
+            ORACLE_ROUNDTRIP,
+            f"{codec.name} measure crashed on shape {x.shape}: "
+            f"{type(exc).__name__}: {exc}",
+        )]
+    model = codec.encoded_bytes(int(np.asarray(x).size), **ctx)
+    if measured != model:
+        return [Violation(
+            ORACLE_ROUNDTRIP,
+            f"{codec.name} static model says {model} bytes, measured "
+            f"encode is {measured} (shape {x.shape})",
+        )]
+    return []

@@ -1,0 +1,243 @@
+"""Differential fuzzing runner: seeds -> graphs -> oracles -> report.
+
+One :func:`verify_seed` call runs the full oracle battery against the
+graph a seed generates:
+
+=====================  ==============================================
+oracle                 property checked
+=====================  ==============================================
+allocator-safety       no two live-overlapping tensors share a group,
+                       for all three policies, on baseline AND every
+                       Gist-rewritten plan
+policy-bounds          greedy-size <= first-fit <= none;
+                       static total >= dynamic peak >= clique bound
+plan-safety            no buffer's death precedes its true last use
+                       (differential vs an independent last-use walk);
+                       lossless Gist never allocates more than baseline
+decision-bytes         every EncodingDecision.encoded_bytes matches a
+                       measured encode() on realistic data
+encoding-roundtrip     lossless codecs bit-exact, lossy codecs within
+                       declared bounds, on adversarial inputs
+=====================  ==============================================
+
+Violations carry the seed, so ``repro fuzz --seeds 1 --start-seed S``
+replays any failure; :func:`minimize` then shrinks the graph by replaying
+the same seed at smaller ``max_ops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.policy import GistConfig
+from repro.core.schedule_builder import build_gist_plan
+from repro.dtypes import FP8, FP16
+from repro.encodings.base import IdentityEncoding
+from repro.encodings.binarize import BinarizeEncoding
+from repro.encodings.dpr import dpr_encoding
+from repro.encodings.groupquant import GroupQuantEncoding
+from repro.encodings.ssdc import SSDCEncoding
+from repro.graph.graph import Graph
+from repro.graph.schedule import TrainingSchedule
+from repro.memory.allocator import (
+    POLICY_FIRST_FIT,
+    POLICY_GREEDY_SIZE,
+    POLICY_NO_SHARING,
+    StaticAllocator,
+)
+from repro.memory.dynamic import simulate_dynamic
+from repro.memory.planner import build_memory_plan
+from repro.verify.fuzzer import DEFAULT_MAX_OPS, GraphFuzzer
+from repro.verify.oracles import (
+    Violation,
+    check_allocator_safety,
+    check_decision_bytes,
+    check_measured_bytes,
+    check_plan_safety,
+    check_policy_bounds,
+    check_roundtrip,
+    interval_clique_bound,
+)
+
+_ALL_POLICIES = (POLICY_GREEDY_SIZE, POLICY_FIRST_FIT, POLICY_NO_SHARING)
+
+#: Gist configurations each fuzzed graph is planned under.
+_PLAN_CONFIGS = (
+    ("lossless", GistConfig.lossless()),
+    ("full-fp16", GistConfig()),
+    ("full-fp8", GistConfig.full("fp8")),
+)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing batch."""
+
+    seeds_run: int = 0
+    graphs_verified: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: Smallest failing graph found by the minimizer, if any seed failed.
+    minimized: Optional[Graph] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _codec_battery(rng):
+    """The codecs the round-trip oracle exercises (fresh instances)."""
+    return [
+        IdentityEncoding(),
+        BinarizeEncoding(),
+        SSDCEncoding(),
+        SSDCEncoding(value_dtype=FP16),
+        SSDCEncoding(value_dtype=FP8),
+        dpr_encoding("fp16"),
+        dpr_encoding("fp10"),
+        dpr_encoding("fp8"),
+        GroupQuantEncoding(bits=int(rng.choice([1, 2, 4, 8])),
+                           group_size=int(rng.choice([7, 32, 256]))),
+        GroupQuantEncoding(bits=4, group_size=256),
+    ]
+
+
+def _adversarial_inputs(rng):
+    """Inputs picked to break codecs: the paper's data never looks like
+    this, which is exactly why hand-written tests missed the padding skew.
+    """
+    n_unaligned = int(rng.integers(1, 700))
+    return [
+        np.zeros((0,), np.float32),                       # empty
+        np.zeros((int(rng.integers(1, 600)),), np.float32),   # all-zero
+        np.full((int(rng.integers(1, 300)),), 1e-41, np.float32),  # denormal
+        rng.normal(0, 1, n_unaligned).astype(np.float32),  # unaligned size
+        np.linspace(5, 6, 300, dtype=np.float32),          # padding-skew repro
+        np.full((65,), -3.75, np.float32),                 # constant negative
+        rng.normal(0, 1e30, 50).astype(np.float32),        # clamp range
+        np.where(rng.random(257) < 0.8, 0.0,
+                 rng.normal(0, 2, 257)).astype(np.float32),  # sparse
+    ]
+
+
+def verify_encodings(seed: int) -> List[Violation]:
+    """Round-trip + size-model oracle over the codec battery."""
+    rng = np.random.default_rng(seed + 0xE4C0DE)
+    violations: List[Violation] = []
+    inputs = _adversarial_inputs(rng)
+    for codec in _codec_battery(rng):
+        for x in inputs:
+            violations += check_roundtrip(codec, x)
+            violations += check_measured_bytes(codec, x)
+    return [Violation(v.oracle, v.detail, seed, v.subject or "encodings")
+            for v in violations]
+
+
+def verify_graph(
+    graph: Graph, seed: Optional[int] = None, strict: bool = False
+) -> List[Violation]:
+    """Run the allocator/bounds/plan oracles against one graph.
+
+    ``strict`` additionally enforces the non-theorem ``greedy-size <=
+    first-fit`` leg (see :func:`repro.verify.oracles.check_policy_bounds`).
+    """
+    violations: List[Violation] = []
+    schedule = TrainingSchedule(graph)
+    baseline = build_memory_plan(graph, schedule)
+
+    # (a) allocator safety + (b) cross-model bounds on the baseline table.
+    totals = {}
+    for policy in _ALL_POLICIES:
+        result = StaticAllocator(policy).allocate(baseline.tensors)
+        totals[policy] = result.total_bytes
+        violations += check_allocator_safety(result, baseline.tensors)
+    dynamic_peak = simulate_dynamic(baseline.tensors,
+                                    schedule.num_steps).peak_bytes
+    clique = interval_clique_bound(baseline.tensors)
+    violations += check_policy_bounds(
+        totals, totals[POLICY_GREEDY_SIZE], dynamic_peak, clique,
+        strict=strict,
+    )
+
+    # (c) plan safety for every Gist configuration, and allocator safety
+    # again on the *rewritten* liveness tables (shorter, denser intervals
+    # are where a grouping bug would hide).
+    baseline_alloc = totals[POLICY_GREEDY_SIZE]
+    rng = np.random.default_rng((seed or 0) + 0x91A7)
+    for label, config in _PLAN_CONFIGS:
+        plan = build_gist_plan(graph, config, schedule=schedule)
+        gist_alloc = StaticAllocator().allocate(plan.plan.tensors).total_bytes
+        violations += [
+            Violation(v.oracle, v.detail, seed, label)
+            for v in check_plan_safety(
+                plan,
+                baseline_allocated=baseline_alloc,
+                gist_allocated=gist_alloc,
+            )
+        ]
+        violations += [
+            Violation(v.oracle, v.detail, seed, label)
+            for v in check_decision_bytes(plan, rng)
+        ]
+        for policy in _ALL_POLICIES:
+            result = StaticAllocator(policy).allocate(plan.plan.tensors)
+            violations += [
+                Violation(v.oracle, v.detail, seed, label)
+                for v in check_allocator_safety(result, plan.plan.tensors)
+            ]
+    return [Violation(v.oracle, v.detail, seed, v.subject)
+            for v in violations]
+
+
+def verify_seed(
+    seed: int, max_ops: int = DEFAULT_MAX_OPS, strict: bool = False
+) -> List[Violation]:
+    """Full oracle battery for one seed: fuzzed graph + codec round-trips."""
+    graph = GraphFuzzer(seed).graph(max_ops=max_ops)
+    return verify_graph(graph, seed, strict=strict) + verify_encodings(seed)
+
+
+def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
+             strict: bool = False):
+    """Smallest reproduction of a failing seed.
+
+    Replays the same seed at growing ``max_ops`` (the fuzzer's decision
+    stream makes each size a prefix of the next) and returns the first
+    graph that still violates, with its violations.  Falls back to the
+    full-size graph when only the encoding oracles (graph-independent)
+    fired.
+    """
+    for k in range(1, max_ops + 1):
+        graph = GraphFuzzer(seed).graph(max_ops=k)
+        violations = verify_graph(graph, seed, strict=strict)
+        if violations:
+            return graph, violations
+    graph = GraphFuzzer(seed).graph(max_ops=max_ops)
+    return graph, verify_seed(seed, max_ops, strict=strict)
+
+
+def run_fuzz(
+    num_seeds: int,
+    start_seed: int = 0,
+    max_ops: int = DEFAULT_MAX_OPS,
+    stop_on_first: bool = True,
+    seeds: Optional[Sequence[int]] = None,
+    strict: bool = False,
+) -> FuzzReport:
+    """Verify ``num_seeds`` consecutive seeds (or an explicit seed list)."""
+    report = FuzzReport()
+    seed_list = (list(seeds) if seeds is not None
+                 else list(range(start_seed, start_seed + num_seeds)))
+    for seed in seed_list:
+        report.seeds_run += 1
+        violations = verify_seed(seed, max_ops, strict=strict)
+        if violations:
+            report.violations += violations
+            if stop_on_first:
+                report.minimized, _ = minimize(seed, max_ops, strict=strict)
+                return report
+        else:
+            report.graphs_verified += 1
+    return report

@@ -69,6 +69,105 @@ class TestGroupQuant:
         np.testing.assert_allclose(d2, d, rtol=1e-5, atol=1e-5)
 
 
+class TestPaddingSkewRegression:
+    """The ragged-tail bug: zero padding entering the min/max statistics.
+
+    ``linspace(5, 6, 300)`` at group size 256 leaves a 44-element tail
+    group whose real span is ~0.15 — but with a padded zero in the stats
+    the grid stretched over [0, 6] and the tail error ballooned to ~40%
+    of a real grid step's worth (0.14 absolute, vs the 0.01 bound).
+    """
+
+    def test_offset_tail_group_error_bounded(self):
+        enc = GroupQuantEncoding(4, group_size=256)
+        x = np.linspace(5, 6, 300, dtype=np.float32)
+        d = enc.decode(enc.encode(x))
+        tail = x[256:]
+        span = tail.max() - tail.min()
+        assert np.abs(d[256:] - tail).max() <= span / 15 * 0.51 + 1e-6
+
+    def test_single_element_tail(self):
+        # Extreme ragged tail: one real value + 31 padded slots.  Group
+        # span is zero, so the value must round-trip (near-)exactly.
+        enc = GroupQuantEncoding(4, group_size=32)
+        x = np.full((33,), 7.5, np.float32)
+        d = enc.decode(enc.encode(x))
+        assert d[32] == pytest.approx(7.5, abs=1e-5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 400),
+        offset=st.floats(-100, 100, width=32),
+        bits=st.sampled_from([2, 4, 8]),
+        group_size=st.sampled_from([7, 32, 256]),
+    )
+    def test_property_unaligned_error_within_real_span(
+        self, n, offset, bits, group_size
+    ):
+        # Every group's error stays within half a grid step of the span
+        # of its REAL values, for any (size, group_size) alignment — the
+        # bound the padded zeros used to violate whenever the data sits
+        # away from zero.
+        rng = np.random.default_rng(n * 1000 + bits)
+        x = (rng.normal(0, 1, n) + offset).astype(np.float32)
+        enc = GroupQuantEncoding(bits, group_size=group_size)
+        d = enc.decode(enc.encode(x))
+        levels = (1 << bits) - 1
+        scale = max(abs(float(x.max())), abs(float(x.min())), 1.0)
+        for g in range(-(-n // group_size)):
+            real = x[g * group_size:(g + 1) * group_size]
+            span = float(real.max() - real.min())
+            err = np.abs(d[g * group_size:(g + 1) * group_size] - real).max()
+            assert err <= span / levels * 0.51 + 1e-6 + 1e-5 * scale
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 300),
+        offset=st.floats(-50, 50, width=32),
+    )
+    def test_property_more_bits_never_worse(self, n, offset):
+        # The 4-bit grid is a subset of the 8-bit grid over the same
+        # group span (255 = 15 * 17), so 8-bit error is pointwise <=
+        # 4-bit error — on aligned AND ragged sizes.
+        rng = np.random.default_rng(n)
+        x = (rng.normal(0, 2, n) + offset).astype(np.float32)
+        err = {}
+        for bits in (4, 8):
+            enc = GroupQuantEncoding(bits, group_size=32)
+            err[bits] = np.abs(enc.decode(enc.encode(x)) - x)
+        assert np.all(err[8] <= err[4] + 1e-5)
+
+
+class TestDescribeAndTrace:
+    def test_describe_labels(self):
+        assert GroupQuantPolicy(bits=4).describe() == "groupquant-int4"
+        assert GroupQuantPolicy(bits=8).describe() == "groupquant-int8"
+
+    def test_trace_policy_registered(self):
+        from repro.diagnostics.golden import TRACE_POLICIES, build_trace_policy
+        from repro.models import tiny_cnn
+
+        g = tiny_cnn(batch_size=4, num_classes=4)
+        assert "groupquant" in TRACE_POLICIES
+        assert "groupquant-int8" in TRACE_POLICIES
+        assert build_trace_policy(
+            "groupquant", g).describe() == "groupquant-int4"
+        assert build_trace_policy(
+            "groupquant-int8", g).describe() == "groupquant-int8"
+
+    def test_traced_run_smoke(self):
+        from repro.diagnostics import run_traced
+
+        digest = run_traced("tiny_cnn", "groupquant", steps=1)
+        assert digest.steps
+
+    def test_cli_trace_groupquant(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--policy", "groupquant", "--steps", "1"]) == 0
+        assert "loss" in capsys.readouterr().out
+
+
 class TestGroupQuantTraining:
     def test_int4_stash_trains(self):
         from repro.models import tiny_cnn

@@ -1,0 +1,44 @@
+"""Pinned-seed fuzzing smoke batch (tier-1; select alone with -m fuzz).
+
+A small deterministic slice of the differential fuzzer runs on every test
+invocation, so an allocator/planner/codec regression that only shows on
+machine-generated graphs is caught before it lands.  The full battery is
+``repro fuzz --seeds N``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.verify import run_fuzz, verify_seed
+
+#: Deterministic smoke slice: ~25 graphs x 3 Gist configs in a few
+#: seconds (the full 500-seed battery runs in ~11 s).
+SMOKE_SEEDS = 25
+
+
+@pytest.mark.fuzz
+class TestFuzzSmoke:
+    def test_smoke_batch_clean(self):
+        report = run_fuzz(SMOKE_SEEDS, stop_on_first=False)
+        assert report.graphs_verified == SMOKE_SEEDS
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    def test_single_seed_battery_includes_encodings(self):
+        assert verify_seed(0) == []
+
+    def test_cli_clean_run(self, capsys):
+        assert main(["fuzz", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "graphs verified: 3" in out
+        assert "violations:      none" in out
+
+    def test_cli_strict_finds_and_minimizes_counterexample(self, capsys):
+        from tests.verify.test_fuzzer import COUNTEREXAMPLE_SEED
+
+        assert main(["fuzz", "--seeds", "1",
+                     "--start-seed", str(COUNTEREXAMPLE_SEED),
+                     "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "policy-bounds" in out
+        assert "minimized repro" in out
+        assert f"--start-seed {COUNTEREXAMPLE_SEED} --strict" in out
