@@ -1,0 +1,103 @@
+"""Benchmark + determinism gate for the orchestration layer.
+
+Runs the 100-seed fuzz battery serially and through the process pool
+and gates on two properties:
+
+* **determinism** — the aggregated ``FuzzReport`` must serialise to
+  byte-identical JSON for ``--workers 1`` and ``--workers N``; this is
+  the contract that makes parallel verification trustworthy, and it is
+  gated unconditionally.
+* **speedup** — the parallel run must be >= ``MIN_SPEEDUP`` x faster
+  wall-clock.  Sharding 100 independent seeds over N cores is
+  embarrassingly parallel, so anything less means the pool is
+  serialising somewhere.  The gate only applies when the machine
+  actually has ``PARALLEL_WORKERS`` usable cores — on smaller hosts the
+  speedup is recorded but reported as not applicable (a 1-core box
+  cannot run 4 workers faster than 1).
+
+Writes machine-readable results to ``BENCH_orchestrate.json`` at the
+repo root (or the path given as argv[1]) and prints a summary.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.ioutil import atomic_write_json
+from repro.verify import run_fuzz
+
+NUM_SEEDS = 100
+PARALLEL_WORKERS = 4
+MIN_SPEEDUP = 2.5
+WARMUP_SEEDS = 3
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_fuzz(workers: int):
+    start = time.perf_counter()
+    report = run_fuzz(NUM_SEEDS, stop_on_first=False, workers=workers)
+    return time.perf_counter() - start, report
+
+
+def main(out_path: str = "BENCH_orchestrate.json") -> dict:
+    run_fuzz(WARMUP_SEEDS, stop_on_first=False)  # JIT-ish warmup
+
+    serial_s, serial_report = _timed_fuzz(workers=1)
+    parallel_s, parallel_report = _timed_fuzz(workers=PARALLEL_WORKERS)
+
+    serial_bytes = json.dumps(serial_report.to_json(), sort_keys=True)
+    parallel_bytes = json.dumps(parallel_report.to_json(), sort_keys=True)
+    byte_identical = serial_bytes == parallel_bytes
+
+    cores = _usable_cores()
+    speedup = serial_s / parallel_s
+    speedup_gate_applicable = cores >= PARALLEL_WORKERS
+    speedup_ok = (speedup >= MIN_SPEEDUP) if speedup_gate_applicable else True
+
+    report = {
+        "benchmark": "orchestrate",
+        "num_seeds": NUM_SEEDS,
+        "workers": PARALLEL_WORKERS,
+        "usable_cores": cores,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "speedup_gate_applicable": speedup_gate_applicable,
+        "byte_identical": byte_identical,
+        "violations": len(serial_report.violations),
+        "failed_units": len(serial_report.failed_units)
+        + len(parallel_report.failed_units),
+        "gates_passed": (byte_identical and speedup_ok
+                         and serial_report.ok and parallel_report.ok),
+    }
+    atomic_write_json(Path(out_path), report, sort_keys=False)
+
+    print(f"serial ({NUM_SEEDS} seeds):    {serial_s:8.2f} s")
+    print(f"parallel ({PARALLEL_WORKERS} workers): {parallel_s:8.2f} s"
+          f"  ({speedup:.2f}x, gate >= {MIN_SPEEDUP}x"
+          f"{'' if speedup_gate_applicable else f' n/a on {cores} core(s)'})")
+    print(f"byte-identical:       {byte_identical}")
+    print(f"gates passed:         {report['gates_passed']}")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    result = main(sys.argv[1] if len(sys.argv) > 1
+                  else "BENCH_orchestrate.json")
+    sys.exit(0 if result["gates_passed"] else 1)

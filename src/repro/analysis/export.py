@@ -8,9 +8,10 @@ tracking of the reproduction itself.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Dict, Optional
+
+from repro.ioutil import atomic_write_json
 
 def collect_headline_results(
     batch_size: int = 64,
@@ -56,7 +57,5 @@ def collect_headline_results(
 def export_json(path, batch_size: int = 64,
                 models: Optional[list] = None) -> Path:
     """Write :func:`collect_headline_results` to ``path`` as JSON."""
-    path = Path(path)
     data = collect_headline_results(batch_size=batch_size, models=models)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
-    return path
+    return atomic_write_json(Path(path), data)

@@ -34,6 +34,21 @@ def _add_model_argument(parser: argparse.ArgumentParser) -> None:
                         help="minibatch size (default: 64, the paper's)")
 
 
+def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; seeds/units are sharded "
+                             "deterministically, so any count produces "
+                             "byte-identical output (default: 1)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="JSONL run journal; finished units stream to "
+                             "it and a re-invocation resumes from it, "
+                             "re-running only incomplete units")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-unit timeout in seconds (needs "
+                             "--workers >= 2; a timed-out unit is retried "
+                             "then recorded as failed)")
+
+
 def _config_from_args(args: argparse.Namespace) -> GistConfig:
     if args.config == "lossless":
         return GistConfig.lossless()
@@ -181,9 +196,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         max_ops=args.max_ops,
         stop_on_first=not args.keep_going,
         strict=args.strict,
+        workers=args.workers,
+        journal=args.journal,
+        timeout_s=args.timeout,
     )
     print(f"seeds run:       {report.seeds_run}")
     print(f"graphs verified: {report.graphs_verified}")
+    for failure in report.failed_units:
+        error = failure["error"]
+        print(f"  FAILED {failure['key']} ({error['type']}: "
+              f"{error['message']}) payload={failure['payload']}")
     if report.ok:
         print("violations:      none")
         return 0
@@ -200,6 +222,35 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"replay with: {replay}):")
         print(report.minimized.summary())
     return 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import SWEEP_DRIVERS, run_sweep
+    from repro.ioutil import atomic_write_json
+
+    drivers = (sorted(SWEEP_DRIVERS) if args.drivers == "all"
+               else [d for d in args.drivers.split(",") if d])
+    models = args.models.split(",") if args.models else None
+    data = run_sweep(
+        drivers,
+        models=models,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        journal=args.journal,
+        timeout_s=args.timeout,
+    )
+    out = atomic_write_json(args.out, data)
+    for name in data["drivers"]:
+        merged = data["figures"][name]
+        count = len(merged) if hasattr(merged, "__len__") else int(
+            merged is not None)
+        print(f"{name:<28} {count:3d} result(s)")
+    for failure in data["failed_units"]:
+        error = failure["error"] or {"type": "Unscheduled", "message": ""}
+        print(f"  FAILED {failure['key']} ({error['type']}: "
+              f"{error['message']}) payload={failure['payload']}")
+    print(f"wrote {out}")
+    return 0 if data["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,7 +334,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="also enforce the heuristic greedy-size <= first-fit "
                         "ordering (known to fail on some fan-out graphs)")
+    _add_orchestration_arguments(p)
     p.set_defaults(func=cmd_fuzz)
+
+    from repro.experiments import DEFAULT_SWEEP_DRIVERS, SWEEP_DRIVERS
+
+    p = sub.add_parser("sweep", help="run figure drivers across the model "
+                                     "suite as parallel work units")
+    p.add_argument("--drivers", default=",".join(DEFAULT_SWEEP_DRIVERS),
+                   metavar="A,B,...",
+                   help="comma-separated driver names, or 'all' "
+                        f"(default: the static analyses; known: "
+                        f"{','.join(sorted(SWEEP_DRIVERS))})")
+    p.add_argument("--models", default=None, metavar="M,N,...",
+                   help="comma-separated model names "
+                        "(default: the paper suite)")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="minibatch for the static analyses (default: 64)")
+    p.add_argument("--out", default="results/sweep.json", metavar="PATH",
+                   help="merged-output JSON path (written atomically; "
+                        "default: results/sweep.json)")
+    _add_orchestration_arguments(p)
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -24,6 +24,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ioutil import atomic_write_text
+
 #: Format version stamped into golden files; bump on digest layout changes.
 GOLDEN_FORMAT = 1
 
@@ -128,10 +130,9 @@ class TraceDigest:
 
     def save_golden(self, path) -> Path:
         """Write this digest as a golden-trace JSON file; returns the path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
-        return path
+        return atomic_write_text(
+            Path(path), json.dumps(self.to_json(), indent=2) + "\n"
+        )
 
     def compare_golden(self, path) -> GoldenComparison:
         """Diff this digest against a saved golden trace.

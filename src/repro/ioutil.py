@@ -1,0 +1,101 @@
+"""Durable file I/O primitives.
+
+Result files, golden traces and orchestration journals are all consumed
+by later runs (regression tracking, conformance gates, sweep resume), so
+a crash mid-write must never leave a half-written file behind.  Two
+primitives cover every on-disk artefact in the repo:
+
+* :func:`atomic_write_text` — full-file replacement.  The text is
+  written to a temporary file in the *same directory* (same filesystem,
+  so the final ``os.replace`` is atomic), fsynced, then renamed over the
+  destination.  Readers observe either the old contents or the new
+  contents, never a prefix.
+* :func:`append_jsonl_line` — journal appends.  Each record is encoded
+  as one newline-terminated JSON line and pushed with a single
+  ``os.write`` on an ``O_APPEND`` descriptor, so a record is either
+  fully present or absent; a crash can at worst truncate the final
+  line, which journal readers detect and drop (see
+  :mod:`repro.orchestrate.journal`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path.
+
+    The destination directory is created if missing.  On any failure the
+    previous contents of ``path`` are left untouched and the temporary
+    file is removed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path, data, indent: int = 2,
+                      sort_keys: bool = True) -> Path:
+    """Serialise ``data`` and :func:`atomic_write_text` it to ``path``."""
+    text = json.dumps(data, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)
+
+
+def append_jsonl_line(path, record: dict) -> None:
+    """Append ``record`` to a JSONL file as one atomic write.
+
+    The record must serialise to a single line (``json.dumps`` never
+    emits raw newlines).  The write is a single ``os.write`` call on an
+    ``O_APPEND`` descriptor followed by fsync, so concurrent appenders
+    never interleave bytes and a crash never leaves more than one
+    truncated trailing line.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path):
+    """Yield records from a JSONL file, dropping a truncated tail.
+
+    A crash mid-append can leave the final line incomplete; any line
+    that fails to parse is skipped (only the tail can be affected given
+    :func:`append_jsonl_line`'s single-write contract).
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue

@@ -1,0 +1,84 @@
+"""On-disk run journal: JSONL of finished work units, resume by replay.
+
+Every terminal unit outcome (``ok`` or ``failed``) is appended as one
+atomic JSONL record (:func:`repro.ioutil.append_jsonl_line`), so killing
+a run at any instant loses at most the in-flight units.  Re-invoking the
+same run with the same journal path replays completed units from disk —
+their recorded results feed the merge exactly as a live result would —
+and re-runs only what is missing.
+
+Resume is payload-aware: each record stores a fingerprint of the unit's
+kind + payload, and a record is only replayed for a unit whose
+fingerprint still matches.  Changing a sweep's parameters therefore
+invalidates stale journal entries instead of silently reusing them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.ioutil import append_jsonl_line, read_jsonl
+from repro.orchestrate.units import WorkUnit, payload_fingerprint
+
+#: Stamped into every record; bump on layout changes.
+JOURNAL_FORMAT = 1
+
+
+class RunJournal:
+    """Append-only JSONL journal of unit outcomes for one logical run."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        unit: WorkUnit,
+        status: str,
+        result=None,
+        error: Optional[dict] = None,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        """Append one terminal unit outcome (``ok`` or ``failed``)."""
+        if status not in ("ok", "failed"):
+            raise ValueError(f"terminal status expected, got {status!r}")
+        append_jsonl_line(self.path, {
+            "format": JOURNAL_FORMAT,
+            "key": unit.key,
+            "kind": unit.kind,
+            "fingerprint": payload_fingerprint(unit),
+            "status": status,
+            "result": result,
+            "error": error,
+            "attempts": attempts,
+            "elapsed_s": round(float(elapsed_s), 6),
+        })
+
+    # ------------------------------------------------------------------
+    def completed(self, units: Iterable[WorkUnit],
+                  retry_failed: bool = True) -> Dict[str, dict]:
+        """Journal records replayable for ``units``, keyed by unit key.
+
+        A record replays only when its fingerprint matches the unit's
+        current payload (later records win, so a re-run that overwrote
+        an outcome supersedes the old one).  With ``retry_failed`` the
+        ``failed`` records are dropped, so a resumed run gives crashed
+        and timed-out units another chance.
+        """
+        wanted = {u.key: payload_fingerprint(u) for u in units}
+        replay: Dict[str, dict] = {}
+        for record in read_jsonl(self.path):
+            if record.get("format") != JOURNAL_FORMAT:
+                continue
+            key = record.get("key")
+            if wanted.get(key) != record.get("fingerprint"):
+                continue
+            if record.get("status") not in ("ok", "failed"):
+                continue
+            replay[key] = record
+        if retry_failed:
+            replay = {k: r for k, r in replay.items()
+                      if r["status"] == "ok"}
+        return replay

@@ -1,0 +1,86 @@
+"""Work units: the payload-complete task description the pool runs.
+
+A unit's ``kind`` names a registered executor function; its ``payload``
+is a JSON-serialisable dict that fully determines the computation.  That
+restriction is what buys determinism and durability: any worker process
+can run any unit from its payload alone, and a journal replay is
+indistinguishable from a live run.
+
+Kinds resolve lazily.  Built-in kinds are registered as ``module:attr``
+strings so importing :mod:`repro.orchestrate` does not drag in the heavy
+verify/experiment stacks; tests may register plain callables (inherited
+by forked workers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Union
+
+#: kind name -> executor callable or lazy ``"module:attr"`` reference.
+_KINDS: Dict[str, Union[Callable[[dict], Any], str]] = {
+    "fuzz-seed": "repro.verify.runner:run_fuzz_unit",
+    "experiment": "repro.experiments:run_sweep_unit",
+}
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable computation.
+
+    Attributes:
+        kind: Registered executor name (see :func:`register_kind`).
+        key: Unique identifier within a run; journal resume and result
+            merging are keyed on it.
+        payload: JSON-serialisable arguments; must fully determine the
+            computation (no ambient state).
+    """
+
+    kind: str
+    key: str
+    payload: dict = field(default_factory=dict)
+
+
+def register_kind(name: str,
+                  fn: Union[Callable[[dict], Any], str]) -> None:
+    """Register (or replace) the executor for a unit kind.
+
+    ``fn`` is either a callable ``payload -> JSON-serialisable result``
+    or a lazy ``"module:attr"`` string resolved on first use.
+    """
+    _KINDS[name] = fn
+
+
+def registered_kinds() -> List[str]:
+    """Names accepted by :func:`resolve_kind`, sorted."""
+    return sorted(_KINDS)
+
+
+def resolve_kind(name: str) -> Callable[[dict], Any]:
+    """Resolve a kind name to its executor, importing lazily if needed."""
+    try:
+        fn = _KINDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown work-unit kind {name!r}; known: {registered_kinds()}"
+        ) from None
+    if isinstance(fn, str):
+        module_name, _, attr = fn.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _KINDS[name] = fn
+    return fn
+
+
+def payload_fingerprint(unit: WorkUnit) -> str:
+    """Short stable hash of a unit's kind + payload.
+
+    Journal records carry it so resume only skips a completed unit when
+    the unit still means the same thing (same kind, same payload) — a
+    re-invocation with different parameters re-runs everything whose
+    meaning changed.
+    """
+    blob = json.dumps([unit.kind, unit.payload], sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -13,31 +13,42 @@ learnable (baseline reaches high accuracy in a few epochs) yet non-trivial
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class Dataset:
-    """Images (N, C, H, W) float32 and integer labels (N,)."""
+    """Images (N, C, H, W) float32 and integer labels (N,).
+
+    ``num_classes`` is stored explicitly: inferring it from
+    ``labels.max() + 1`` underreports whenever a split happens to miss
+    the top class (easy with small random test splits).  When omitted it
+    falls back to the inferred value for hand-built datasets.
+    """
 
     images: np.ndarray
     labels: np.ndarray
+    num_classes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.images.shape[0] != self.labels.shape[0]:
             raise ValueError(
                 f"{self.images.shape[0]} images but {self.labels.shape[0]} labels"
             )
+        if self.num_classes is None:
+            inferred = int(self.labels.max()) + 1 if self.labels.size else 0
+            object.__setattr__(self, "num_classes", inferred)
+        elif self.labels.size and int(self.labels.max()) >= self.num_classes:
+            raise ValueError(
+                f"label {int(self.labels.max())} out of range for "
+                f"{self.num_classes} classes"
+            )
 
     @property
     def num_samples(self) -> int:
         return self.images.shape[0]
-
-    @property
-    def num_classes(self) -> int:
-        return int(self.labels.max()) + 1 if self.labels.size else 0
 
 
 def _smooth_template(
@@ -75,18 +86,36 @@ def make_synthetic(
     """
     if num_samples < num_classes:
         raise ValueError("need at least one sample per class")
-    rng = np.random.default_rng(seed)
+    # Independent child streams for templates/train/test: drawing the
+    # test split from the tail of one shared stream made the test data a
+    # function of num_samples, so "same seed, bigger training set"
+    # silently changed the evaluation data.
+    template_seq, train_seq, test_seq = np.random.SeedSequence(seed).spawn(3)
+    template_rng = np.random.default_rng(template_seq)
     templates = [
-        _smooth_template(rng, channels, image_size) for _ in range(num_classes)
+        _smooth_template(template_rng, channels, image_size)
+        for _ in range(num_classes)
     ]
 
-    def sample_split(n: int) -> Dataset:
-        labels = rng.integers(0, num_classes, n)
+    def sample_split(n: int, rng: np.random.Generator) -> Dataset:
+        # Every class appears at least once (a permutation of all
+        # classes, then uniform draws, shuffled together), so the split
+        # is usable for num_classes-way evaluation at any size >= classes.
+        labels = np.concatenate([
+            rng.permutation(num_classes),
+            rng.integers(0, num_classes, n - num_classes),
+        ])
+        labels = rng.permutation(labels)
         images = np.stack([templates[c] for c in labels])
         images += rng.normal(0.0, noise, images.shape).astype(np.float32)
-        return Dataset(images.astype(np.float32), labels.astype(np.int64))
+        return Dataset(images.astype(np.float32), labels.astype(np.int64),
+                       num_classes=num_classes)
 
-    return sample_split(num_samples), sample_split(max(num_samples // 4, num_classes))
+    return (
+        sample_split(num_samples, np.random.default_rng(train_seq)),
+        sample_split(max(num_samples // 4, num_classes),
+                     np.random.default_rng(test_seq)),
+    )
 
 
 def minibatches(

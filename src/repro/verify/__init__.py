@@ -26,8 +26,11 @@ from repro.verify.oracles import (
 )
 from repro.verify.runner import (
     FuzzReport,
+    fuzz_work_units,
+    merge_fuzz_results,
     minimize,
     run_fuzz,
+    run_fuzz_unit,
     verify_encodings,
     verify_graph,
     verify_seed,
@@ -50,9 +53,12 @@ __all__ = [
     "check_policy_bounds",
     "check_roundtrip",
     "fuzz_graphs",
+    "fuzz_work_units",
     "interval_clique_bound",
+    "merge_fuzz_results",
     "minimize",
     "run_fuzz",
+    "run_fuzz_unit",
     "verify_encodings",
     "verify_graph",
     "verify_seed",

@@ -27,8 +27,8 @@ the same seed at smaller ``max_ops``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -79,12 +79,32 @@ class FuzzReport:
     seeds_run: int = 0
     graphs_verified: int = 0
     violations: List[Violation] = field(default_factory=list)
+    #: Work units that could not be verified at all (worker exception,
+    #: crash or timeout), each carrying its payload for replay.
+    failed_units: List[dict] = field(default_factory=list)
     #: Smallest failing graph found by the minimizer, if any seed failed.
     minimized: Optional[Graph] = None
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.failed_units
+
+    def to_json(self) -> dict:
+        """Stable JSON form; byte-identical for equivalent batches.
+
+        ``json.dumps(report.to_json(), sort_keys=True)`` is the
+        determinism oracle used by the orchestration gate: the bytes
+        must not depend on worker count or completion order.
+        """
+        return {
+            "seeds_run": self.seeds_run,
+            "graphs_verified": self.graphs_verified,
+            "violations": [asdict(v) for v in self.violations],
+            "failed_units": self.failed_units,
+            "minimized_summary": (self.minimized.summary()
+                                  if self.minimized is not None else None),
+            "ok": self.ok,
+        }
 
 
 def _codec_battery(rng):
@@ -218,6 +238,71 @@ def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
     return graph, verify_seed(seed, max_ops, strict=strict)
 
 
+def fuzz_work_units(
+    seed_list: Sequence[int],
+    max_ops: int = DEFAULT_MAX_OPS,
+    strict: bool = False,
+) -> List["WorkUnit"]:
+    """One payload-complete work unit per seed (kind ``fuzz-seed``)."""
+    from repro.orchestrate import WorkUnit
+
+    return [
+        WorkUnit("fuzz-seed", f"seed:{seed}",
+                 {"seed": int(seed), "max_ops": int(max_ops),
+                  "strict": bool(strict)})
+        for seed in seed_list
+    ]
+
+
+def run_fuzz_unit(payload: dict) -> dict:
+    """Work-unit executor for kind ``fuzz-seed`` (runs in any process)."""
+    violations = verify_seed(payload["seed"], payload["max_ops"],
+                             strict=payload["strict"])
+    return {"seed": payload["seed"],
+            "violations": [asdict(v) for v in violations]}
+
+
+def merge_fuzz_results(
+    units: Sequence["WorkUnit"],
+    results: Dict[str, "UnitResult"],
+    stop_on_first: bool = True,
+) -> FuzzReport:
+    """Deterministic, order-independent aggregation of per-seed results.
+
+    Walks units in seed order and reproduces the serial runner's
+    semantics exactly: with ``stop_on_first`` the report covers seeds up
+    to and including the first one that violated (or failed to verify);
+    results for any later seeds that a parallel run happened to complete
+    are ignored.  The output is therefore a pure function of the per-seed
+    results, independent of worker count and completion order.
+    """
+    report = FuzzReport()
+    for unit in units:
+        result = results.get(unit.key)
+        if result is None:  # never scheduled (early stop upstream)
+            break
+        report.seeds_run += 1
+        if not result.ok:
+            report.failed_units.append({
+                "key": unit.key,
+                "payload": unit.payload,
+                "error": {"type": result.error["type"],
+                          "message": result.error["message"]},
+                "attempts": result.attempts,
+            })
+            if stop_on_first:
+                break
+            continue
+        violations = [Violation(**v) for v in result.value["violations"]]
+        if violations:
+            report.violations += violations
+            if stop_on_first:
+                break
+        else:
+            report.graphs_verified += 1
+    return report
+
+
 def run_fuzz(
     num_seeds: int,
     start_seed: int = 0,
@@ -225,19 +310,33 @@ def run_fuzz(
     stop_on_first: bool = True,
     seeds: Optional[Sequence[int]] = None,
     strict: bool = False,
+    workers: int = 1,
+    journal: Union[None, str, "RunJournal"] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
 ) -> FuzzReport:
-    """Verify ``num_seeds`` consecutive seeds (or an explicit seed list)."""
-    report = FuzzReport()
+    """Verify ``num_seeds`` consecutive seeds (or an explicit seed list).
+
+    Seeds are sharded as work units across ``workers`` processes (see
+    :mod:`repro.orchestrate`); the merged report is byte-identical for
+    any worker count.  A worker exception, crash or timeout is recorded
+    in ``report.failed_units`` with its payload — it never aborts the
+    batch.  With ``journal`` set, completed seeds stream to a JSONL run
+    journal and a re-invocation resumes from it.
+    """
+    from repro.orchestrate import run_units
+
     seed_list = (list(seeds) if seeds is not None
                  else list(range(start_seed, start_seed + num_seeds)))
-    for seed in seed_list:
-        report.seeds_run += 1
-        violations = verify_seed(seed, max_ops, strict=strict)
-        if violations:
-            report.violations += violations
-            if stop_on_first:
-                report.minimized, _ = minimize(seed, max_ops, strict=strict)
-                return report
-        else:
-            report.graphs_verified += 1
+    units = fuzz_work_units(seed_list, max_ops, strict)
+    stop_when = None
+    if stop_on_first:
+        stop_when = lambda r: (not r.ok) or bool(r.value["violations"])
+    results = run_units(units, workers=workers, timeout_s=timeout_s,
+                        retries=retries, journal=journal,
+                        stop_when=stop_when)
+    report = merge_fuzz_results(units, results, stop_on_first)
+    if stop_on_first and report.violations:
+        report.minimized, _ = minimize(report.violations[0].seed, max_ops,
+                                       strict=strict)
     return report

@@ -1,0 +1,39 @@
+"""Standalone driver for the SIGKILL/resume test.
+
+Run as ``python _resume_driver.py JOURNAL EFFECTS COUNT SLEEP_S``: executes
+COUNT slow work units through the orchestration pool with a run journal,
+appending each completed unit's key to the EFFECTS file.  The test kills
+this process mid-run, re-invokes it with identical arguments, and checks
+that already-journaled units were not re-executed.
+"""
+
+import sys
+import time
+
+from repro.orchestrate import WorkUnit, register_kind, run_units
+
+
+def _slow_unit(payload):
+    time.sleep(float(payload["sleep_s"]))
+    with open(payload["effects"], "a") as fh:
+        fh.write(payload["key"] + "\n")
+    return payload["key"]
+
+
+def main(journal: str, effects: str, count: str, sleep_s: str) -> int:
+    register_kind("resume-test", _slow_unit)
+    units = [
+        WorkUnit("resume-test", f"k{i:02d}",
+                 {"key": f"k{i:02d}", "effects": effects,
+                  "sleep_s": float(sleep_s)})
+        for i in range(int(count))
+    ]
+    results = run_units(units, workers=1, journal=journal)
+    assert len(results) == len(units)
+    assert all(result.ok for result in results.values())
+    print("DONE")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -1,0 +1,207 @@
+"""Fault-injection and determinism tests for the work-unit pool.
+
+Every failure mode the orchestration layer promises to absorb is
+injected here for real: worker exceptions, hard process crashes
+(``os._exit``), hangs past the timeout, and flaky units that succeed on
+retry.  The determinism contract — same results for any worker count —
+is asserted on JSON bytes.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.ioutil import read_jsonl
+from repro.orchestrate import (
+    RunJournal,
+    WorkUnit,
+    payload_fingerprint,
+    register_kind,
+    run_units,
+)
+
+
+def _square(payload):
+    return {"sq": payload["x"] ** 2}
+
+
+def _boom(payload):
+    raise ValueError(f"injected failure for {payload['x']}")
+
+
+def _hard_crash(payload):
+    os._exit(9)
+
+
+def _hang(payload):
+    time.sleep(payload.get("sleep_s", 60.0))
+
+
+def _tuple_result(payload):
+    return ("a", 1)
+
+
+def _flaky(payload):
+    """Fails on the first attempt, succeeds once the marker exists."""
+    if not os.path.exists(payload["marker"]):
+        with open(payload["marker"], "w"):
+            pass
+        raise RuntimeError("injected transient failure")
+    return "ok-after-retry"
+
+
+def _effect(payload):
+    with open(payload["effects"], "a") as fh:
+        fh.write(payload["key"] + "\n")
+    return payload["key"]
+
+
+for _name, _fn in [("t-square", _square), ("t-boom", _boom),
+                   ("t-crash", _hard_crash), ("t-hang", _hang),
+                   ("t-tuple", _tuple_result), ("t-flaky", _flaky),
+                   ("t-effect", _effect)]:
+    register_kind(_name, _fn)
+
+
+def _squares(n):
+    return [WorkUnit("t-square", f"u{i}", {"x": i}) for i in range(n)]
+
+
+def _values(results):
+    return {key: result.value for key, result in results.items()}
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_results_byte_identical(self):
+        units = _squares(10)
+        serial = run_units(units, workers=1)
+        parallel = run_units(units, workers=4)
+        assert (json.dumps(_values(serial), sort_keys=True)
+                == json.dumps(_values(parallel), sort_keys=True))
+        assert all(r.ok and not r.cached for r in parallel.values())
+
+    def test_results_json_normalised_in_every_mode(self):
+        # A tuple result must come back as a JSON list everywhere, so a
+        # live parallel run, a serial run and a journal replay agree.
+        unit = [WorkUnit("t-tuple", "t", {})]
+        assert run_units(unit, workers=1)["t"].value == ["a", 1]
+        assert run_units(unit, workers=2)["t"].value == ["a", 1]
+
+
+class TestFaultIsolation:
+    def test_exception_recorded_with_payload_not_fatal(self):
+        units = _squares(3) + [WorkUnit("t-boom", "bad", {"x": 13})]
+        results = run_units(units, workers=2, retries=1)
+        bad = results["bad"]
+        assert bad.status == "failed" and not bad.ok
+        assert bad.error["type"] == "ValueError"
+        assert "13" in bad.error["message"]
+        assert bad.attempts == 2  # first try + one retry
+        assert all(results[f"u{i}"].ok for i in range(3))
+
+    def test_worker_crash_is_isolated_and_retried(self):
+        units = [WorkUnit("t-crash", "boom", {})] + _squares(4)
+        results = run_units(units, workers=2, retries=1)
+        assert results["boom"].status == "failed"
+        assert results["boom"].error["type"] == "WorkerCrash"
+        assert results["boom"].attempts == 2
+        assert all(results[f"u{i}"].ok for i in range(4))
+
+    def test_hang_hits_timeout_and_batch_completes(self):
+        units = [WorkUnit("t-hang", "stuck", {})] + _squares(3)
+        start = time.monotonic()
+        results = run_units(units, workers=2, timeout_s=0.5, retries=0)
+        assert time.monotonic() - start < 30.0
+        assert results["stuck"].status == "failed"
+        assert results["stuck"].error["type"] == "WorkerTimeout"
+        assert all(results[f"u{i}"].ok for i in range(3))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_then_succeed(self, tmp_path, workers):
+        marker = tmp_path / f"marker-{workers}"
+        units = [WorkUnit("t-flaky", "f", {"marker": str(marker)})]
+        results = run_units(units, workers=workers, retries=1)
+        assert results["f"].ok
+        assert results["f"].attempts == 2
+        assert results["f"].value == "ok-after-retry"
+
+
+class TestSchedulingContract:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_units([WorkUnit("t-square", "u", {"x": 1}),
+                       WorkUnit("t-square", "u", {"x": 2})])
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON"):
+            run_units([WorkUnit("t-square", "u", {"x": object()})])
+
+    def test_stop_when_halts_scheduling(self):
+        units = _squares(10)
+        results = run_units(units, workers=1,
+                            stop_when=lambda r: r.value["sq"] >= 9)
+        assert sorted(results) == ["u0", "u1", "u2", "u3"]
+
+
+class TestJournalResume:
+    def test_completed_units_replayed_not_rerun(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        effects = tmp_path / "effects.log"
+        units = [WorkUnit("t-effect", f"k{i}",
+                          {"key": f"k{i}", "effects": str(effects)})
+                 for i in range(6)]
+        first = run_units(units[:4], workers=1, journal=str(journal))
+        assert all(r.ok for r in first.values())
+        resumed = run_units(units, workers=2, journal=str(journal))
+        assert sorted(k for k, r in resumed.items() if r.cached) \
+            == ["k0", "k1", "k2", "k3"]
+        counts = effects.read_text().splitlines()
+        assert sorted(counts) == [f"k{i}" for i in range(6)]  # once each
+        assert (json.dumps(_values(resumed), sort_keys=True)
+                == json.dumps({f"k{i}": f"k{i}" for i in range(6)},
+                              sort_keys=True))
+
+    def test_changed_payload_invalidates_journal_entry(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_units([WorkUnit("t-square", "u", {"x": 2})], journal=str(journal))
+        changed = run_units([WorkUnit("t-square", "u", {"x": 5})],
+                            journal=str(journal))
+        assert not changed["u"].cached
+        assert changed["u"].value == {"sq": 25}
+
+    def test_failed_units_are_retried_on_resume(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        marker = tmp_path / "marker"
+        units = [WorkUnit("t-flaky", "f", {"marker": str(marker)})]
+        first = run_units(units, retries=0, journal=str(journal))
+        assert first["f"].status == "failed"
+        second = run_units(units, retries=0, journal=str(journal))
+        assert second["f"].ok and not second["f"].cached
+
+    def test_truncated_journal_tail_is_tolerated(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_units(_squares(3), journal=str(journal))
+        with open(journal, "a") as fh:
+            fh.write('{"format": 1, "key": "u9", "stat')  # crash mid-append
+        resumed = run_units(_squares(3), journal=str(journal))
+        assert all(r.cached for r in resumed.values())
+
+    def test_fingerprint_covers_kind_and_payload(self):
+        a = WorkUnit("t-square", "k", {"x": 1})
+        b = WorkUnit("t-square", "k", {"x": 2})
+        c = WorkUnit("t-boom", "k", {"x": 1})
+        assert payload_fingerprint(a) != payload_fingerprint(b)
+        assert payload_fingerprint(a) != payload_fingerprint(c)
+        assert payload_fingerprint(a) == payload_fingerprint(
+            WorkUnit("t-square", "other-key", {"x": 1}))
+
+    def test_journal_records_failures_with_payload(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        run_units([WorkUnit("t-boom", "bad", {"x": 3})], retries=0,
+                  journal=journal)
+        (record,) = list(read_jsonl(journal.path))
+        assert record["status"] == "failed"
+        assert record["error"]["type"] == "ValueError"
+        assert record["kind"] == "t-boom"

@@ -1,0 +1,94 @@
+"""Regression tests for synthetic-dataset determinism and durability.
+
+Two seed-determinism bugs are pinned here:
+
+* the test split used to be drawn from the same RNG stream *after* the
+  train split, so changing ``num_samples`` silently changed the test
+  data for the same seed;
+* ``Dataset.num_classes`` used to be inferred as ``labels.max() + 1``,
+  underreporting whenever a split happened to miss the top class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.train import Dataset, make_synthetic
+
+
+class TestSplitStreamIndependence:
+    def test_test_split_independent_of_train_consumption(self):
+        # Regression: the test split used to be drawn from the tail of
+        # the train stream, so any change in how much the train split
+        # consumed changed the evaluation data.  128 and 131 training
+        # samples both yield a 32-sample test split; same seed must mean
+        # the same test data.
+        _, test_a = make_synthetic(num_samples=128, num_classes=4,
+                                   image_size=8, seed=11)
+        _, test_b = make_synthetic(num_samples=131, num_classes=4,
+                                   image_size=8, seed=11)
+        np.testing.assert_array_equal(test_a.labels, test_b.labels)
+        np.testing.assert_array_equal(test_a.images, test_b.images)
+
+    def test_same_seed_bitwise_reproducible(self):
+        a_train, a_test = make_synthetic(64, 4, 8, seed=5)
+        b_train, b_test = make_synthetic(64, 4, 8, seed=5)
+        np.testing.assert_array_equal(a_train.images, b_train.images)
+        np.testing.assert_array_equal(a_test.images, b_test.images)
+
+    def test_different_seeds_differ(self):
+        a_train, _ = make_synthetic(64, 4, 8, seed=5)
+        b_train, _ = make_synthetic(64, 4, 8, seed=6)
+        assert not np.array_equal(a_train.images, b_train.images)
+
+    def test_train_and_test_streams_distinct(self):
+        train, test = make_synthetic(num_samples=64, num_classes=4,
+                                     image_size=8, seed=0)
+        assert not np.array_equal(train.images[: test.num_samples],
+                                  test.images)
+
+
+class TestClassCoverage:
+    @pytest.mark.parametrize("num_samples,num_classes,seed", [
+        (4, 4, 0),      # minimum size: exactly one sample per class
+        (10, 10, 3),    # test split is the num_classes floor
+        (40, 8, 1),
+        (100, 5, 7),
+    ])
+    def test_every_class_in_both_splits(self, num_samples, num_classes,
+                                        seed):
+        train, test = make_synthetic(num_samples=num_samples,
+                                     num_classes=num_classes,
+                                     image_size=8, seed=seed)
+        assert set(np.unique(train.labels)) == set(range(num_classes))
+        assert set(np.unique(test.labels)) == set(range(num_classes))
+
+    def test_splits_report_requested_num_classes(self):
+        train, test = make_synthetic(num_samples=32, num_classes=6,
+                                     image_size=8, seed=0)
+        assert train.num_classes == 6
+        assert test.num_classes == 6
+
+
+class TestDatasetNumClasses:
+    def test_explicit_num_classes_survives_missing_top_class(self):
+        # Regression: a split missing class 2 used to report 2 classes.
+        images = np.zeros((3, 1, 2, 2), np.float32)
+        labels = np.array([0, 1, 0], np.int64)
+        dataset = Dataset(images, labels, num_classes=3)
+        assert dataset.num_classes == 3
+
+    def test_inferred_fallback_for_hand_built_datasets(self):
+        images = np.zeros((4, 1, 2, 2), np.float32)
+        labels = np.array([0, 1, 2, 1], np.int64)
+        assert Dataset(images, labels).num_classes == 3
+
+    def test_out_of_range_label_rejected(self):
+        images = np.zeros((2, 1, 2, 2), np.float32)
+        labels = np.array([0, 5], np.int64)
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(images, labels, num_classes=3)
+
+    def test_empty_dataset(self):
+        images = np.zeros((0, 1, 2, 2), np.float32)
+        labels = np.zeros((0,), np.int64)
+        assert Dataset(images, labels).num_classes == 0
