@@ -1,0 +1,106 @@
+"""Benchmark + dominance gate for the hybrid memory planner.
+
+For every model in the registry, builds the four planner arms (pure
+gist / pure recompute / pure swap / hybrid) under the same cost budget
+and gates on two properties per model:
+
+* **dominance** — the hybrid plan's allocated footprint must be <= the
+  best pure strategy's.  The planner's argmin fallback makes this
+  structural, so a failure means the fallback (or the arm construction
+  it compares) broke.
+* **budget** — every arm's selected cost must fit the step-time budget,
+  and the hybrid plan-safety oracle (chains, liveness, lossy-ancestor
+  guard) must report no violations.
+
+Writes machine-readable results to ``BENCH_hybrid_planner.json`` at the
+repo root (or the path given as argv[1]) and prints a summary table.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hybrid_planner.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.policy import (
+    HybridPolicy,
+    STRATEGY_GIST,
+    STRATEGY_HYBRID,
+    STRATEGY_RECOMPUTE,
+    STRATEGY_SWAP,
+)
+from repro.ioutil import atomic_write_json
+from repro.memory.hybrid import build_hybrid_plan
+from repro.models import available_models, build_model
+from repro.verify import check_hybrid_plan
+
+#: Keep the planner input tractable on the largest registry models.
+BATCH_SIZE = 32
+BUDGET_FRAC = 0.15
+
+PURE_STRATEGIES = (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP)
+
+
+def bench_model(name: str) -> dict:
+    graph = build_model(name, batch_size=BATCH_SIZE)
+    hybrid = build_hybrid_plan(
+        graph, HybridPolicy(strategy=STRATEGY_HYBRID,
+                            cost_budget_frac=BUDGET_FRAC)
+    )
+    violations = check_hybrid_plan(hybrid)
+    best_pure = min(hybrid.pure_footprints.values())
+    row = {
+        "model": name,
+        "baseline_bytes": hybrid.baseline_allocated_bytes,
+        "hybrid_bytes": hybrid.allocated_bytes,
+        "pure_bytes": dict(sorted(hybrid.pure_footprints.items())),
+        "fallback_strategy": hybrid.fallback_strategy,
+        "decisions": len(hybrid.decisions),
+        "overhead_frac": hybrid.overhead_frac,
+        "budget_frac": BUDGET_FRAC,
+        "footprint_ratio": hybrid.footprint_ratio,
+        "oracle_violations": [str(v) for v in violations],
+        "dominance_ok": hybrid.allocated_bytes <= best_pure,
+        "budget_ok": hybrid.total_cost_s
+        <= hybrid.budget_s * (1 + 1e-9) + 1e-12,
+    }
+    row["ok"] = (row["dominance_ok"] and row["budget_ok"]
+                 and not row["oracle_violations"])
+    return row
+
+
+def main(out_path: str = "BENCH_hybrid_planner.json") -> dict:
+    rows = [bench_model(name) for name in available_models()]
+    report = {
+        "benchmark": "hybrid_planner",
+        "batch_size": BATCH_SIZE,
+        "budget_frac": BUDGET_FRAC,
+        "models": rows,
+        "gates_passed": all(row["ok"] for row in rows),
+    }
+    atomic_write_json(Path(out_path), report, sort_keys=False)
+
+    mib = 1024 * 1024
+    print(f"{'model':<12} {'baseline':>10} {'hybrid':>10} {'best pure':>10} "
+          f"{'ratio':>6} {'ovh':>6}  adopted")
+    for row in rows:
+        best = min(row["pure_bytes"].values())
+        print(f"{row['model']:<12} {row['baseline_bytes'] / mib:9.1f}M "
+              f"{row['hybrid_bytes'] / mib:9.1f}M {best / mib:9.1f}M "
+              f"{row['footprint_ratio']:5.2f}x {row['overhead_frac']:5.1%}  "
+              f"{row['fallback_strategy'] or 'mixed'}"
+              f"{'' if row['ok'] else '  <-- GATE FAILED'}")
+        for violation in row["oracle_violations"]:
+            print(f"    {violation}")
+    print(f"gates passed: {report['gates_passed']}")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    result = main(sys.argv[1] if len(sys.argv) > 1
+                  else "BENCH_hybrid_planner.json")
+    sys.exit(0 if result["gates_passed"] else 1)

@@ -11,8 +11,10 @@ This is the template for downstream experimentation: one Encoding
 subclass + one StashPolicy gives a full paper-style evaluation.
 
 Run:  python examples/custom_encoding.py
+Set REPRO_FAST=1 for a seconds-long smoke run (fewer sweeps/epochs).
 """
 
+import os
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -22,6 +24,11 @@ from repro.analysis import format_table
 from repro.encodings import Encoding, IdentityEncoding
 from repro.models import scaled_vgg
 from repro.train import SGD, StashPolicy, Trainer, make_synthetic
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+KEEP_SWEEP = (1.0, 0.25) if FAST else (1.0, 0.5, 0.25, 0.10)
+EPOCHS = 1 if FAST else 4
+NUM_SAMPLES = 128 if FAST else 640
 
 
 @dataclass(frozen=True)
@@ -82,15 +89,16 @@ class TopKPolicy(StashPolicy):
 
 def main() -> None:
     train_set, test_set = make_synthetic(
-        num_samples=640, num_classes=8, image_size=16, noise=1.2, seed=3
+        num_samples=NUM_SAMPLES, num_classes=8, image_size=16, noise=1.2,
+        seed=3,
     )
     rows = []
-    for keep in (1.0, 0.5, 0.25, 0.10):
+    for keep in KEEP_SWEEP:
         graph = scaled_vgg(batch_size=32, num_classes=8, image_size=16,
                            width=8)
         policy = None if keep == 1.0 else TopKPolicy(keep)
         trainer = Trainer(graph, policy, SGD(lr=0.01, momentum=0.9), seed=0)
-        result = trainer.train(train_set, test_set, epochs=4,
+        result = trainer.train(train_set, test_set, epochs=EPOCHS,
                                label=f"top-{keep:.0%}")
         compression = 4.0 / (8.0 * keep)  # FP32 bytes / topk bytes
         rows.append([f"{keep:.0%}", f"{compression:.1f}x",
@@ -98,7 +106,7 @@ def main() -> None:
     print(format_table(
         ["kept values", "stash compression", "final accuracy"],
         rows,
-        title="Top-K stash sparsification on scaled VGG (4 epochs):",
+        title=f"Top-K stash sparsification on scaled VGG ({EPOCHS} epochs):",
     ))
     print("\nTakeaway: backward-only Top-K tolerates aggressive dropping —"
           "\nthe same delayed-error principle that makes DPR work.")

@@ -6,7 +6,10 @@ reduction buys either a larger minibatch (higher GPU utilisation and
 throughput) or a deeper network at the same minibatch.
 
 Run:  python examples/fit_larger_networks.py
+Set REPRO_FAST=1 for a seconds-long smoke run (shallow depths only).
 """
+
+import os
 
 from repro.analysis import format_table
 from repro.core import GistConfig
@@ -17,13 +20,19 @@ from repro.perf import (
     larger_minibatch_speedup,
 )
 
+FAST = bool(os.environ.get("REPRO_FAST"))
+#: ResNet depths must be 6n+2 (three stages of n residual blocks).
+DEPTHS = (14, 20) if FAST else (110, 509, 1202)
+DEEPEST_START = 8 if FAST else 104
+DEEPEST_STRIDE = 30 if FAST else 96
+
 
 def main() -> None:
     config = GistConfig.full("fp10")
 
     print("Largest minibatch fitting a 12 GB Titan X, baseline vs Gist:\n")
     rows = []
-    for depth in (110, 509, 1202):
+    for depth in DEPTHS:
         report = larger_minibatch_speedup(
             lambda b, d=depth: resnet_cifar(d, batch_size=b),
             config,
@@ -47,9 +56,11 @@ def main() -> None:
     print("\nOr go deeper at a fixed minibatch of 256:")
     factory = lambda depth: resnet_cifar(depth, batch_size=256)
     base_depth = deepest_trainable(factory, None, device=TITAN_X_MAXWELL,
-                                   start=104, stride=96)
+                                   start=DEEPEST_START,
+                                   stride=DEEPEST_STRIDE)
     gist_depth = deepest_trainable(factory, config, device=TITAN_X_MAXWELL,
-                                   start=104, stride=96)
+                                   start=DEEPEST_START,
+                                   stride=DEEPEST_STRIDE)
     print(f"  baseline deepest trainable ResNet: ~{base_depth} layers")
     print(f"  with Gist:                         ~{gist_depth} layers "
           f"({gist_depth / base_depth:.1f}x deeper)")

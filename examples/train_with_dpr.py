@@ -8,7 +8,10 @@ Gist's delayed reduction — error confined to the stashed backward copies
 — matches the FP32 baseline.
 
 Run:  python examples/train_with_dpr.py
+Set REPRO_FAST=1 for a seconds-long smoke run (fewer samples/epochs).
 """
+
+import os
 
 from repro.analysis import format_series
 from repro.core import GistConfig
@@ -22,7 +25,9 @@ from repro.train import (
     make_synthetic,
 )
 
-EPOCHS = 5
+FAST = bool(os.environ.get("REPRO_FAST"))
+EPOCHS = 1 if FAST else 5
+NUM_SAMPLES = 128 if FAST else 640
 
 
 def run(label, make_policy, train_set, test_set):
@@ -36,7 +41,8 @@ def run(label, make_policy, train_set, test_set):
 
 def main() -> None:
     train_set, test_set = make_synthetic(
-        num_samples=640, num_classes=8, image_size=16, noise=1.2, seed=3
+        num_samples=NUM_SAMPLES, num_classes=8, image_size=16, noise=1.2,
+        seed=3,
     )
     print(f"synthetic task: {train_set.num_samples} train / "
           f"{test_set.num_samples} test images, 8 classes\n")

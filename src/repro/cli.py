@@ -13,6 +13,9 @@ Commands:
 * ``fuzz`` — differential fuzzing: random graphs through the
   allocator/plan/encoding oracles; exit 1 with a minimized repro on the
   first violation.
+* ``plan`` — hybrid memory planner: per-tensor encode/recompute/swap
+  decision table plus footprints of every strategy arm.
+* ``sweep`` — figure drivers across the model suite as parallel units.
 """
 
 from __future__ import annotations
@@ -224,6 +227,50 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.policy import HybridPolicy, STRATEGY_HYBRID
+    from repro.memory.hybrid import build_hybrid_plan
+
+    graph = build_model(args.model, batch_size=args.batch_size)
+    gist = (GistConfig.lossless() if args.config == "lossless"
+            else GistConfig.for_network(args.model) if args.config == "network"
+            else GistConfig.full(args.config))
+    policy = HybridPolicy(strategy=args.strategy,
+                          cost_budget_frac=args.budget, gist=gist)
+    hybrid = build_hybrid_plan(graph, policy)
+
+    rows = []
+    for d in hybrid.decisions.values():
+        what = d.choice if d.encoding is None else f"{d.choice}:{d.encoding}"
+        if d.choice == "recompute":
+            src = graph.node(d.source_id).name
+            what += f" <- {src} ({len(d.chain)} op(s))"
+        rows.append([
+            d.node_name, d.stash_class, what,
+            d.fp32_bytes / MiB, d.resident_bytes / MiB,
+            d.cost_s * 1e6, "yes" if d.lossless else "NO",
+        ])
+    print(format_table(
+        ["feature map", "class", "decision", "FP32 MiB", "resident MiB",
+         "cost us", "lossless"],
+        rows,
+        title=f"{args.model} @ minibatch {args.batch_size} — "
+              f"{policy.describe()}, budget {policy.cost_budget_frac:.0%} "
+              f"of step",
+    ))
+    print(f"\nbaseline allocated: {hybrid.baseline_allocated_bytes / MiB:8.2f}"
+          f" MiB")
+    print(f"plan allocated:     {hybrid.allocated_bytes / MiB:8.2f} MiB "
+          f"({hybrid.footprint_ratio:.2f}x reduction)")
+    print(f"modeled overhead:   {hybrid.overhead_frac:8.1%} of baseline step")
+    if args.strategy == STRATEGY_HYBRID:
+        for strategy, footprint in sorted(hybrid.pure_footprints.items()):
+            marker = (" <- adopted" if strategy == hybrid.fallback_strategy
+                      else "")
+            print(f"  pure {strategy:<9} {footprint / MiB:8.2f} MiB{marker}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import SWEEP_DRIVERS, run_sweep
     from repro.ioutil import atomic_write_json
@@ -336,6 +383,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "ordering (known to fail on some fan-out graphs)")
     _add_orchestration_arguments(p)
     p.set_defaults(func=cmd_fuzz)
+
+    from repro.core.policy import HYBRID_STRATEGIES
+
+    p = sub.add_parser("plan", help="hybrid memory planner "
+                                    "(encode x recompute x swap)")
+    _add_model_argument(p)
+    p.add_argument("--strategy", default="hybrid", choices=HYBRID_STRATEGIES,
+                   help="planner arm: a single lever, or 'hybrid' to mix "
+                        "them per tensor (default: hybrid)")
+    p.add_argument("--budget", type=float, default=0.15, metavar="FRAC",
+                   help="step-time overhead budget as a fraction of the "
+                        "baseline step (default: 0.15)")
+    p.add_argument("--config", default="lossless",
+                   choices=["lossless", "network", "fp16", "fp10", "fp8"],
+                   help="gist switches for the encode lever (default: "
+                        "lossless, so every decision is bit-exact)")
+    p.set_defaults(func=cmd_plan)
 
     from repro.experiments import DEFAULT_SWEEP_DRIVERS, SWEEP_DRIVERS
 

@@ -11,7 +11,16 @@ from repro.core.analysis import (
     stash_bytes_by_class,
 )
 from repro.core.gist import Gist, MFRReport, class_mfr_breakdown, footprint_bytes
-from repro.core.policy import GistConfig, PAPER_DPR_FORMATS
+from repro.core.policy import (
+    GistConfig,
+    HYBRID_STRATEGIES,
+    HybridPolicy,
+    PAPER_DPR_FORMATS,
+    STRATEGY_GIST,
+    STRATEGY_HYBRID,
+    STRATEGY_RECOMPUTE,
+    STRATEGY_SWAP,
+)
 from repro.core.schedule_builder import (
     ENC_BINARIZE,
     ENC_DPR,
@@ -29,9 +38,15 @@ __all__ = [
     "Gist",
     "GistConfig",
     "GistPlan",
+    "HYBRID_STRATEGIES",
+    "HybridPolicy",
     "MFRReport",
     "PAPER_DPR_FORMATS",
     "STASH_CLASSES",
+    "STRATEGY_GIST",
+    "STRATEGY_HYBRID",
+    "STRATEGY_RECOMPUTE",
+    "STRATEGY_SWAP",
     "STASH_OTHER",
     "STASH_RELU_CONV",
     "STASH_RELU_POOL",

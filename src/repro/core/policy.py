@@ -7,7 +7,12 @@ Mirrors Table I of the paper.  Presets cover the paper's experiment arms:
 * :meth:`GistConfig.full` — lossless plus DPR (Figure 8's "Lossless +
   Lossy" bar; the DPR format is per-network, chosen as the smallest that
   trains without accuracy loss — Section V-D1).
-* :meth:`GistConfig.dpr_only` — DPR in isolation (Figure 13).
+* :meth:`GistConfig.dpr_only` — DPR on every stashed map (Figure 13).
+
+:class:`HybridPolicy` extends the per-class encoding choice into a
+per-tensor *strategy* choice — Gist encoding, recompute-from-ancestor or
+host swap — priced by the cost model (see
+:mod:`repro.memory.hybrid`).
 """
 
 from __future__ import annotations
@@ -15,6 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.dtypes import DPR_FORMATS
+
+# Planner strategies accepted by `repro plan --strategy` and
+# :func:`repro.memory.hybrid.build_hybrid_plan`.
+STRATEGY_GIST = "gist"
+STRATEGY_RECOMPUTE = "recompute"
+STRATEGY_SWAP = "swap"
+STRATEGY_HYBRID = "hybrid"
+HYBRID_STRATEGIES = (
+    STRATEGY_GIST,
+    STRATEGY_RECOMPUTE,
+    STRATEGY_SWAP,
+    STRATEGY_HYBRID,
+)
 
 #: Smallest DPR format per network with no accuracy loss (paper §V-D1):
 #: AlexNet and Overfeat train at FP8; Inception needs FP10; VGG16 needs
@@ -116,3 +134,56 @@ class GistConfig:
     def any_encoding(self) -> bool:
         """Whether any stash-rewriting technique is enabled."""
         return self.binarize or self.ssdc or self.dpr
+
+
+@dataclass(frozen=True)
+class HybridPolicy:
+    """Configuration of the hybrid memory planner.
+
+    The planner prices three footprint levers per stashed feature map —
+    Gist encoding, recompute-from-cheapest-ancestor and host swap — with
+    the roofline cost model, then picks the cheapest mix that fits the
+    overhead budget (:func:`repro.memory.hybrid.build_hybrid_plan`).
+
+    Attributes:
+        strategy: ``"hybrid"`` considers all levers per tensor;
+            ``"gist"`` / ``"recompute"`` / ``"swap"`` restrict the planner
+            to a single lever (the pure arms the hybrid must beat).
+        cost_budget_frac: Step-time overhead budget as a fraction of the
+            baseline step (all strategies select under the same budget,
+            which is what makes their footprints comparable).
+        gist: Encoding switches for the Gist lever.  The default is
+            :meth:`GistConfig.lossless`, so every plan decision round-trips
+            bit-exactly and hybrid execution matches the baseline's
+            losses and gradients bit for bit.
+    """
+
+    strategy: str = STRATEGY_HYBRID
+    cost_budget_frac: float = 0.15
+    gist: GistConfig = GistConfig.lossless()
+
+    def __post_init__(self) -> None:
+        if self.strategy not in HYBRID_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {HYBRID_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.cost_budget_frac < 0.0:
+            raise ValueError(
+                f"cost_budget_frac must be >= 0, got {self.cost_budget_frac}"
+            )
+
+    def with_(self, **overrides) -> "HybridPolicy":
+        """Functional update."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """Label: ``"hybrid"`` or ``"hybrid-<pure strategy>"``."""
+        if self.strategy == STRATEGY_HYBRID:
+            return "hybrid"
+        return f"hybrid-{self.strategy}"
+
+    @property
+    def lossless(self) -> bool:
+        """Whether every decision the planner can emit is lossless."""
+        return not self.gist.dpr

@@ -1,6 +1,6 @@
 """Gist's data encodings: Binarize, SSDC, DPR, plus packing substrates."""
 
-from repro.encodings.base import Encoding, IdentityEncoding
+from repro.encodings.base import Encoding, HostSwapEncoding, IdentityEncoding
 from repro.encodings.binarize import (
     BinarizedTensor,
     BinarizeEncoding,
@@ -54,6 +54,7 @@ __all__ = [
     "GroupQuantEncoding",
     "GroupQuantPolicy",
     "GroupQuantTensor",
+    "HostSwapEncoding",
     "IdentityEncoding",
     "NARROW_COLS",
     "SSDCEncoding",

@@ -1,0 +1,754 @@
+"""Hybrid memory planner: encode x recompute x swap, priced per tensor.
+
+Gist's Schedule Builder picks one encoding per stashed feature map.  The
+repo also carries the two rival footprint levers as isolated baselines —
+segment recomputation (:mod:`repro.memory.recompute`) and host-swap
+modeling (:mod:`repro.perf.swap`) — but never combines them, even though
+cost-model-driven selection across techniques (Echo, the Compressing DMA
+Engine) beats any single one.  This module closes that gap:
+
+for every stashed feature map, price three options with the roofline
+cost model —
+
+* **Gist encoding** — the existing per-class choice (Binarize / SSDC /
+  DPR); cost is the codec's bandwidth passes;
+* **recompute** — drop the map after its last forward use and re-execute
+  the forward chain from the cheapest *value-exact* ancestor during the
+  backward pass; cost is the chain's forward kernel time
+  (:func:`repro.memory.recompute.chain_forward_seconds`);
+* **host swap** — offload over PCIe after the forward use, prefetch
+  before the backward use; cost is the un-hidden fraction of the two
+  transfers, calibrated per graph against the vDNN event simulation —
+
+then select greedily by bytes-saved per second of overhead under a
+step-time budget, and emit a unified :class:`~repro.memory.planner.MemoryPlan`
+that the static allocator prices and the executor runs.
+
+Strategy arms: ``build_hybrid_plan(graph, policy.with_(strategy=...))``
+restricts the planner to a single lever, which yields the pure-gist /
+pure-recompute / pure-swap baselines *under the same budget and the same
+structural rewrites* — the apples-to-apples comparison the bench gate
+and the plan-safety oracle rely on.  The hybrid arm additionally adopts
+the best pure selection outright whenever greedy mixing did not beat it,
+so ``hybrid footprint <= min(pure footprints)`` holds structurally.
+
+Unlike the Schedule Builder this planner never merges inplace pairs:
+all four arms share the same base liveness table, so footprint deltas
+are attributable to the per-tensor decisions alone.
+
+Execution: :class:`repro.train.stash.HybridExecutionPolicy` turns a
+:class:`HybridPlan` into stash-layer behaviour — codecs for gist
+choices, a host-buffer identity codec for swaps, and
+:class:`RecomputeDirective`\\ s the executor replays (bit-identically,
+because chains exclude RNG/state-mutating layers and sources are pinned
+to value-exact choices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.dtypes import BIT1, DPR_FORMATS, UINT8
+from repro.encodings.ssdc import csr_bytes
+from repro.graph.graph import Graph
+from repro.graph.liveness import (
+    LiveTensor,
+    ROLE_DECODED,
+    ROLE_ENCODED,
+    ROLE_FEATURE_MAP,
+    ROLE_WORKSPACE,
+)
+from repro.graph.schedule import TrainingSchedule
+from repro.memory.allocator import StaticAllocator
+from repro.memory.planner import MemoryPlan, build_memory_plan
+from repro.memory.recompute import chain_forward_seconds
+from repro.tensor.categories import TensorCategory
+from repro.tensor.spec import TensorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sparsity import SparsityModel
+    from repro.core.policy import HybridPolicy
+    from repro.perf.cost import CostModel
+
+# Per-tensor decision labels.
+CHOICE_KEEP = "keep"
+CHOICE_GIST = "gist"
+CHOICE_RECOMPUTE = "recompute"
+CHOICE_SWAP = "swap"
+ALL_CHOICES = (CHOICE_KEEP, CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP)
+
+#: Layer kinds that can never appear *inside* a recompute chain:
+#: re-running their forward pass is not deterministic and side-effect-free
+#: (dropout draws from an RNG, batch norm updates running statistics), or
+#: they are not ops at all (input) / must not re-run (loss).
+NON_RECOMPUTABLE_KINDS = frozenset({"dropout", "batchnorm", "input", "loss"})
+
+#: Choices a recompute *source* may carry.  The chain is re-executed from
+#: the source's decoded stash, so that decode must reproduce the exact
+#: forward values: an untouched FP32 stash (keep) or a host-swapped copy.
+#: Binarize decodes to a mask and DPR rounds — both are value-destroying,
+#: which is why a recompute decision can never sit downstream of a
+#: lossy-encoded ancestor.
+SOURCE_COMPATIBLE_CHOICES = frozenset({CHOICE_KEEP, CHOICE_SWAP})
+
+#: Ancestor-walk depth limit; chains beyond this are never profitable
+#: (the chain cost grows while the savings stay one feature map).
+_MAX_CHAIN_LENGTH = 12
+
+
+@dataclass(frozen=True)
+class RecomputeDirective:
+    """Runtime instruction: rebuild a stash instead of storing it.
+
+    Attributes:
+        source_id: Ancestor node whose stashed (value-exact) output seeds
+            the re-execution.
+        chain: Node ids to re-run in forward order; the last entry is the
+            tensor being rebuilt, the first consumes the source's output.
+    """
+
+    source_id: int
+    chain: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """What the hybrid planner decided for one stashed feature map."""
+
+    node_id: int
+    node_name: str
+    stash_class: str
+    choice: str
+    #: Gist codec name (``binarize``/``ssdc``/``dpr``) for gist choices.
+    encoding: Optional[str]
+    fp32_bytes: int
+    #: Device bytes resident across the forward->backward gap.
+    resident_bytes: int
+    #: Modeled step-time cost of the choice, seconds.
+    cost_s: float
+    lossless: bool
+    source_id: Optional[int] = None
+    chain: Tuple[int, ...] = ()
+    sparsity: Optional[float] = None
+
+    @property
+    def savings_bytes(self) -> int:
+        """Gap bytes freed relative to keeping the FP32 stash."""
+        return self.fp32_bytes - self.resident_bytes
+
+
+@dataclass
+class HybridPlan:
+    """A rewritten memory plan plus the per-tensor decisions behind it."""
+
+    graph: Graph
+    schedule: TrainingSchedule
+    plan: MemoryPlan
+    policy: "HybridPolicy"
+    decisions: Dict[int, PlanDecision]
+    baseline_step_s: float
+    budget_s: float
+    total_cost_s: float
+    allocated_bytes: int
+    baseline_allocated_bytes: int
+    #: Allocated footprint of each pure arm under the same budget
+    #: (populated when ``policy.strategy == "hybrid"``).
+    pure_footprints: Dict[str, int] = field(default_factory=dict)
+    #: Pure arm whose selection the hybrid adopted outright because greedy
+    #: mixing did not beat it (``None`` when the mixed selection stood).
+    fallback_strategy: Optional[str] = None
+    rewritten_pools: Tuple[int, ...] = ()
+
+    @property
+    def overhead_frac(self) -> float:
+        """Selected decisions' cost as a fraction of the baseline step."""
+        return self.total_cost_s / self.baseline_step_s
+
+    @property
+    def lossless(self) -> bool:
+        """Whether every decision round-trips bit-exactly."""
+        return all(d.lossless for d in self.decisions.values())
+
+    @property
+    def footprint_ratio(self) -> float:
+        """Baseline allocated bytes over this plan's allocated bytes."""
+        return self.baseline_allocated_bytes / self.allocated_bytes
+
+    def recompute_directives(self) -> Dict[int, RecomputeDirective]:
+        """Executable directives for every recompute decision."""
+        return {
+            nid: RecomputeDirective(d.source_id, d.chain)
+            for nid, d in self.decisions.items()
+            if d.choice == CHOICE_RECOMPUTE
+        }
+
+    def bytes_by_choice(self) -> Dict[str, int]:
+        """FP32 stash bytes governed by each choice (keep included)."""
+        out = {c: 0 for c in ALL_CHOICES}
+        for d in self.decisions.values():
+            out[d.choice] += d.fp32_bytes
+        return out
+
+
+@dataclass(frozen=True)
+class _Option:
+    """One candidate (tensor, choice) pairing with its price tag."""
+
+    node_id: int
+    choice: str
+    encoding: Optional[str]
+    fp32_bytes: int
+    resident_bytes: int
+    decoded_bytes: int
+    cost_s: float
+    lossless: bool
+    source_id: Optional[int] = None
+    chain: Tuple[int, ...] = ()
+    sparsity: Optional[float] = None
+
+    @property
+    def savings_bytes(self) -> int:
+        return self.fp32_bytes - self.resident_bytes
+
+
+# ----------------------------------------------------------------------
+# Runtime-availability analysis (mirrors the executor's stash rules)
+# ----------------------------------------------------------------------
+def _runtime_needs_input(node) -> bool:
+    override = getattr(node.layer, "runtime_backward_needs_input", None)
+    if override is not None:
+        return override
+    return node.layer.backward_needs_input
+
+
+def _runtime_needs_output(node) -> bool:
+    override = getattr(node.layer, "runtime_backward_needs_output", None)
+    if override is not None:
+        return override
+    return node.layer.backward_needs_output
+
+
+def _runtime_backward_uses(
+    graph: Graph, schedule: TrainingSchedule, node_id: int
+) -> Tuple[Optional[int], Optional[int]]:
+    """(first, last) backward read of a map under the *runtime* stash rules.
+
+    The executor stashes by the runtime flags (a max-pool always replays
+    its argmax map, never X/Y), so recompute-source availability must be
+    judged against these, not the declared baseline needs.
+    """
+    node = graph.node(node_id)
+    uses: List[int] = []
+    if _runtime_needs_output(node) and schedule.has_backward(node_id):
+        uses.append(schedule.backward_time(node_id))
+    for consumer in graph.consumers(node_id):
+        if _runtime_needs_input(consumer) and schedule.has_backward(
+            consumer.node_id
+        ):
+            uses.append(schedule.backward_time(consumer.node_id))
+    if not uses:
+        return None, None
+    return min(uses), max(uses)
+
+
+def find_recompute_chain(
+    graph: Graph,
+    schedule: TrainingSchedule,
+    target_id: int,
+    target_first_bwd: int,
+) -> Optional[Tuple[int, Tuple[int, ...]]]:
+    """Walk toward the input for the nearest value-exact recompute source.
+
+    Returns ``(source_id, chain)`` — the chain re-runs in order and ends
+    at ``target_id`` — or ``None`` when no valid source exists.  A source
+    must be stashed at runtime and its stash must still be live at the
+    target's first backward read (so the re-execution reads within the
+    source's modeled lifetime); every chain member must be a single-input,
+    deterministic, side-effect-free op.
+    """
+    target = graph.node(target_id)
+    if target.kind in NON_RECOMPUTABLE_KINDS or len(target.inputs) != 1:
+        return None
+    chain: List[int] = [target_id]
+    current = target
+    for _ in range(_MAX_CHAIN_LENGTH):
+        parent = graph.node(current.inputs[0])
+        _, parent_last_bwd = _runtime_backward_uses(
+            graph, schedule, parent.node_id
+        )
+        if parent_last_bwd is not None and parent_last_bwd >= target_first_bwd:
+            return parent.node_id, tuple(chain)
+        if (
+            parent.kind in NON_RECOMPUTABLE_KINDS
+            or len(parent.inputs) != 1
+        ):
+            return None
+        chain.insert(0, parent.node_id)
+        current = parent
+    return None
+
+
+def _swap_stall_fraction(graph: Graph, cost: "CostModel") -> float:
+    """Un-hidden fraction of a PCIe transfer, calibrated per graph.
+
+    The vDNN event simulation says how much of the graph's total transfer
+    volume its one-deep DMA pipeline fails to hide behind compute; that
+    ratio prices each individual offload+prefetch pair here.
+    """
+    from repro.perf.swap import simulate_swapping  # local: memory<->perf
+
+    sim = simulate_swapping(graph, cost)
+    naive_extra = sim.naive_s - sim.baseline_s
+    if naive_extra <= 0.0:
+        # No offloadable stashes in the vDNN sim; assume half hides.
+        return 0.5
+    frac = (sim.vdnn_s - sim.baseline_s) / naive_extra
+    return max(0.0, min(1.0, frac))
+
+
+# ----------------------------------------------------------------------
+# Option generation
+# ----------------------------------------------------------------------
+def _gist_option(node, stash_class, fp32_bytes, num_elements, cfg,
+                 sparsity_model, graph, cost) -> Optional[_Option]:
+    from repro.core.schedule_builder import (
+        ENC_BINARIZE,
+        ENC_DPR,
+        ENC_SSDC,
+        _encoding_for,
+    )
+
+    encoding = _encoding_for(stash_class, cfg)
+    if encoding is None:
+        return None
+    dpr_dtype = DPR_FORMATS[cfg.dpr_format]
+    sparsity: Optional[float] = None
+    if encoding == ENC_BINARIZE:
+        enc_bytes = TensorSpec(
+            f"{node.name}.out.enc", node.output_shape, BIT1,
+            TensorCategory.ENCODED,
+        ).size_bytes
+        decoded_bytes = 0  # ReLU backward reads the mask directly.
+        lossless = True
+    else:
+        if encoding == ENC_SSDC:
+            sparsity = sparsity_model.sparsity(graph, node.node_id)
+            value_bits = (
+                dpr_dtype.bits if (cfg.dpr and cfg.dpr_over_ssdc) else 32
+            )
+            enc_bytes = csr_bytes(num_elements, sparsity, cfg.ssdc_cols,
+                                  value_bits)
+            if enc_bytes >= fp32_bytes:
+                # Below the CSR breakeven; fall back to DPR when lossy is
+                # on, else there is no profitable gist option.
+                if not cfg.dpr:
+                    return None
+                encoding = ENC_DPR
+                sparsity = None
+        if encoding == ENC_DPR:
+            enc_bytes = TensorSpec(
+                f"{node.name}.out.enc", node.output_shape, dpr_dtype,
+                TensorCategory.ENCODED,
+            ).size_bytes
+        decoded_bytes = 0 if cfg.optimized_software else fp32_bytes
+        lossless = encoding == ENC_SSDC and not (cfg.dpr and cfg.dpr_over_ssdc)
+    # Codec cost: one bandwidth pass to encode (read FP32, write encoded)
+    # and, where a staging buffer exists, one to decode.
+    cost_s = cost.copy_time(fp32_bytes + enc_bytes)
+    if decoded_bytes:
+        cost_s += cost.copy_time(enc_bytes + decoded_bytes)
+    return _Option(
+        node_id=node.node_id,
+        choice=CHOICE_GIST,
+        encoding=encoding,
+        fp32_bytes=fp32_bytes,
+        resident_bytes=enc_bytes,
+        decoded_bytes=decoded_bytes,
+        cost_s=cost_s,
+        lossless=lossless,
+        sparsity=sparsity,
+    )
+
+
+def _candidate_options(
+    graph, schedule, stash_infos, uses, cfg, sparsity_model, cost,
+    swap_stall,
+) -> List[_Option]:
+    options: List[_Option] = []
+    for node in graph.nodes:
+        nid = node.node_id
+        info = stash_infos.get(nid)
+        if info is None or nid == graph.output_id:
+            continue
+        last_fwd, first_bwd, last_bwd = uses[nid]
+        if first_bwd is None:
+            continue  # not stashed under the effective (rewritten) needs
+        num_elements = _num_elements(node.output_shape)
+        fp32_bytes = 4 * num_elements
+
+        gist = _gist_option(node, info.stash_class, fp32_bytes, num_elements,
+                            cfg, sparsity_model, graph, cost)
+        if gist is not None:
+            options.append(gist)
+
+        found = find_recompute_chain(graph, schedule, nid, first_bwd)
+        if found is not None:
+            source_id, chain = found
+            options.append(_Option(
+                node_id=nid,
+                choice=CHOICE_RECOMPUTE,
+                encoding=None,
+                fp32_bytes=fp32_bytes,
+                resident_bytes=0,
+                decoded_bytes=fp32_bytes,
+                cost_s=chain_forward_seconds(graph, chain, cost),
+                lossless=True,
+                source_id=source_id,
+                chain=chain,
+            ))
+
+        # Host swap: offload after the last forward use, prefetch before
+        # the first backward use.  Only the un-hidden fraction of the two
+        # PCIe transfers costs step time; each DMA submission pays one
+        # launch overhead.
+        swap_cost = (
+            2.0 * cost.transfer_time(fp32_bytes) * swap_stall
+            + 2.0 * cost.device.kernel_overhead
+        )
+        options.append(_Option(
+            node_id=nid,
+            choice=CHOICE_SWAP,
+            encoding=None,
+            fp32_bytes=fp32_bytes,
+            resident_bytes=0,
+            decoded_bytes=fp32_bytes,
+            cost_s=swap_cost,
+            lossless=True,
+        ))
+    return options
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def _select(
+    options: List[_Option], budget_s: float, allowed_choices
+) -> Tuple[Dict[int, _Option], float]:
+    """Greedy budgeted selection: best bytes-per-second ratio first.
+
+    At most one option per tensor; recompute sources are pinned to
+    value-exact choices (the lossy-ancestor guard); every accepted option
+    must fit the remaining budget.  Ties break deterministically on
+    (node id, choice).
+    """
+    eligible = [
+        o for o in options
+        if o.choice in allowed_choices and o.savings_bytes > 0
+    ]
+    eligible.sort(
+        key=lambda o: (
+            -(o.savings_bytes / max(o.cost_s, 1e-15)),
+            o.node_id,
+            o.choice,
+        )
+    )
+    assigned: Dict[int, _Option] = {}
+    pinned: set = set()
+    spent = 0.0
+    for option in eligible:
+        if option.node_id in assigned:
+            continue
+        if (option.node_id in pinned
+                and option.choice not in SOURCE_COMPATIBLE_CHOICES):
+            continue
+        if option.choice == CHOICE_RECOMPUTE:
+            source = assigned.get(option.source_id)
+            if (source is not None
+                    and source.choice not in SOURCE_COMPATIBLE_CHOICES):
+                continue
+        if spent + option.cost_s > budget_s + 1e-12:
+            continue
+        assigned[option.node_id] = option
+        spent += option.cost_s
+        if option.choice == CHOICE_RECOMPUTE:
+            pinned.add(option.source_id)
+    return assigned, spent
+
+
+# ----------------------------------------------------------------------
+# Plan rewriting
+# ----------------------------------------------------------------------
+def _apply_selection(
+    graph, schedule, stash_infos, uses, assigned, pools_rewritten, cfg,
+) -> Tuple[MemoryPlan, Tuple[int, ...]]:
+    """Rewrite the baseline liveness table under the selected choices.
+
+    Mirrors the Schedule Builder's rewrite discipline: the FP32 map dies
+    at its last forward use whenever a choice replaces it across the gap;
+    the replacement (encoded stash / rebuilt map / prefetch buffer) spans
+    exactly the interval the backward pass reads.
+    """
+    plan = build_memory_plan(graph, schedule)
+    fm_by_node: Dict[int, LiveTensor] = {
+        t.node_id: t for t in plan.tensors if t.role == ROLE_FEATURE_MAP
+    }
+    new_tensors: List[LiveTensor] = []
+    prefetch_by_node: Dict[int, LiveTensor] = {}
+
+    for node in graph.nodes:
+        nid = node.node_id
+        fm = fm_by_node[nid]
+        last_fwd, first_bwd, last_bwd = uses[nid]
+        if first_bwd is None:
+            fm.death = last_fwd
+            continue
+        option = assigned.get(nid)
+        if stash_infos.get(nid) is None or option is None:
+            fm.death = max(last_fwd, last_bwd)
+            continue
+
+        fm.death = last_fwd
+        if option.choice == CHOICE_GIST:
+            from repro.core.schedule_builder import ENC_BINARIZE, ENC_SSDC
+
+            if option.encoding == ENC_BINARIZE:
+                enc_spec = TensorSpec(f"{node.name}.out.enc",
+                                      node.output_shape, BIT1,
+                                      TensorCategory.ENCODED)
+            elif option.encoding == ENC_SSDC:
+                enc_spec = TensorSpec(f"{node.name}.out.enc",
+                                      (option.resident_bytes,), UINT8,
+                                      TensorCategory.ENCODED)
+            else:  # ENC_DPR
+                enc_spec = TensorSpec(f"{node.name}.out.enc",
+                                      node.output_shape,
+                                      DPR_FORMATS[cfg.dpr_format],
+                                      TensorCategory.ENCODED)
+            new_tensors.append(
+                LiveTensor(enc_spec, birth=last_fwd, death=last_bwd,
+                           node_id=nid, role=ROLE_ENCODED)
+            )
+            if option.decoded_bytes:
+                new_tensors.append(
+                    LiveTensor(
+                        TensorSpec(f"{node.name}.out.dec", node.output_shape,
+                                   fm.spec.dtype, TensorCategory.FEATURE_MAP),
+                        birth=first_bwd,
+                        death=last_bwd,
+                        node_id=nid,
+                        role=ROLE_DECODED,
+                    )
+                )
+        elif option.choice == CHOICE_SWAP:
+            prefetch = LiveTensor(
+                TensorSpec(f"{node.name}.out.prefetch", node.output_shape,
+                           fm.spec.dtype, TensorCategory.FEATURE_MAP),
+                birth=first_bwd,
+                death=last_bwd,
+                node_id=nid,
+                role=ROLE_DECODED,
+            )
+            new_tensors.append(prefetch)
+            prefetch_by_node[nid] = prefetch
+        elif option.choice == CHOICE_RECOMPUTE:
+            new_tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.out.recomp", node.output_shape,
+                               fm.spec.dtype, TensorCategory.FEATURE_MAP),
+                    birth=first_bwd,
+                    death=last_bwd,
+                    node_id=nid,
+                    role=ROLE_FEATURE_MAP,
+                )
+            )
+            # Chain intermediates live only while the chain replays — a
+            # transient scratch region sized to the largest one.
+            intermediates = option.chain[:-1]
+            if intermediates:
+                scratch = max(
+                    4 * _num_elements(graph.node(i).output_shape)
+                    for i in intermediates
+                )
+                new_tensors.append(
+                    LiveTensor(
+                        TensorSpec(f"{node.name}.out.rechain", (scratch,),
+                                   UINT8, TensorCategory.WORKSPACE),
+                        birth=first_bwd,
+                        death=first_bwd,
+                        node_id=nid,
+                        role=ROLE_WORKSPACE,
+                    )
+                )
+
+    # A swapped recompute-source is prefetched for the *target's* first
+    # backward read, which precedes the source's own backward window.
+    for option in assigned.values():
+        if option.choice != CHOICE_RECOMPUTE:
+            continue
+        source_option = assigned.get(option.source_id)
+        if source_option is not None and source_option.choice == CHOICE_SWAP:
+            prefetch = prefetch_by_node[option.source_id]
+            _, target_first_bwd, _ = uses[option.node_id]
+            prefetch.birth = min(prefetch.birth, target_first_bwd)
+
+    # Argmax maps for rewritten pools (the uses above were computed under
+    # the rewrite, so the maps must be carried whether or not a binarize
+    # choice was selected).
+    rewritten_pools: List[int] = []
+    if pools_rewritten:
+        for node in graph.nodes:
+            if not getattr(node.layer, "supports_argmax_map", False):
+                continue
+            if not schedule.has_backward(node.node_id):
+                continue
+            rewritten_pools.append(node.node_id)
+            map_spec = node.layer.argmax_map_spec(node.output_shape)
+            new_tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.argmax", node.output_shape,
+                               map_spec.dtype, TensorCategory.ENCODED),
+                    birth=schedule.forward_time(node.node_id),
+                    death=schedule.backward_time(node.node_id),
+                    node_id=node.node_id,
+                    role=ROLE_ENCODED,
+                )
+            )
+
+    plan.tensors.extend(new_tensors)
+    return plan, tuple(rewritten_pools)
+
+
+def _num_elements(shape) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+# ----------------------------------------------------------------------
+# The planner
+# ----------------------------------------------------------------------
+def build_hybrid_plan(
+    graph: Graph,
+    policy: "Optional[HybridPolicy]" = None,
+    sparsity_model: "Optional[SparsityModel]" = None,
+    schedule: Optional[TrainingSchedule] = None,
+    cost: "Optional[CostModel]" = None,
+) -> HybridPlan:
+    """Price encode/recompute/swap per stashed tensor and select a mix.
+
+    Args:
+        graph: Training execution graph.
+        policy: Strategy, budget and gist switches (defaults to the
+            all-levers lossless :class:`~repro.core.policy.HybridPolicy`).
+        sparsity_model: Supplies per-layer sparsity for SSDC sizing.
+        schedule: Precomputed schedule (built if omitted).
+        cost: Device cost model (Titan X roofline by default).
+
+    Returns:
+        A :class:`HybridPlan` whose ``plan`` feeds the static allocator
+        and whose ``decisions`` drive
+        :class:`repro.train.stash.HybridExecutionPolicy`.
+    """
+    from repro.analysis.sparsity import DEFAULT_SPARSITY_MODEL
+    from repro.core.analysis import classify_all_stashes
+    from repro.core.policy import (
+        HybridPolicy,
+        STRATEGY_GIST,
+        STRATEGY_HYBRID,
+        STRATEGY_RECOMPUTE,
+        STRATEGY_SWAP,
+    )
+    from repro.core.schedule_builder import _feature_map_uses
+    from repro.perf.cost import CostModel
+
+    policy = policy or HybridPolicy()
+    sparsity_model = sparsity_model or DEFAULT_SPARSITY_MODEL
+    if schedule is None:
+        schedule = TrainingSchedule(graph)
+    cost = cost or CostModel()
+    cfg = policy.gist
+    pools_rewritten = cfg.binarize
+
+    baseline_step_s = cost.step_time(graph).total_s
+    budget_s = policy.cost_budget_frac * baseline_step_s
+    stash_infos = classify_all_stashes(graph, schedule)
+    uses = {
+        node.node_id: _feature_map_uses(graph, schedule, node.node_id,
+                                        pools_rewritten)
+        for node in graph.nodes
+    }
+    swap_stall = _swap_stall_fraction(graph, cost)
+    options = _candidate_options(graph, schedule, stash_infos, uses, cfg,
+                                 sparsity_model, cost, swap_stall)
+    baseline_allocated = StaticAllocator().allocate(
+        build_memory_plan(graph, schedule).tensors
+    ).total_bytes
+
+    choices_of = {
+        STRATEGY_GIST: {CHOICE_GIST},
+        STRATEGY_RECOMPUTE: {CHOICE_RECOMPUTE},
+        STRATEGY_SWAP: {CHOICE_SWAP},
+        STRATEGY_HYBRID: {CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP},
+    }
+
+    def build_arm(allowed):
+        assigned, spent = _select(options, budget_s, allowed)
+        plan, pools = _apply_selection(graph, schedule, stash_infos, uses,
+                                       assigned, pools_rewritten, cfg)
+        allocated = StaticAllocator().allocate(plan.tensors).total_bytes
+        return assigned, spent, plan, pools, allocated
+
+    pure_footprints: Dict[str, int] = {}
+    fallback_strategy: Optional[str] = None
+    if policy.strategy == STRATEGY_HYBRID:
+        arms = {
+            strategy: build_arm(choices_of[strategy])
+            for strategy in (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP)
+        }
+        pure_footprints = {s: arm[4] for s, arm in arms.items()}
+        selected = build_arm(choices_of[STRATEGY_HYBRID])
+        best_pure = min(sorted(pure_footprints),
+                        key=lambda s: pure_footprints[s])
+        if pure_footprints[best_pure] < selected[4]:
+            # Greedy mixing lost to a pure arm; adopt that selection so
+            # the hybrid is never worse than the best single strategy.
+            selected = arms[best_pure]
+            fallback_strategy = best_pure
+    else:
+        selected = build_arm(choices_of[policy.strategy])
+    assigned, spent, plan, pools, allocated = selected
+
+    decisions = {
+        nid: PlanDecision(
+            node_id=nid,
+            node_name=graph.node(nid).name,
+            stash_class=stash_infos[nid].stash_class,
+            choice=o.choice,
+            encoding=o.encoding,
+            fp32_bytes=o.fp32_bytes,
+            resident_bytes=o.resident_bytes,
+            cost_s=o.cost_s,
+            lossless=o.lossless,
+            source_id=o.source_id,
+            chain=o.chain,
+            sparsity=o.sparsity,
+        )
+        for nid, o in sorted(assigned.items())
+    }
+    return HybridPlan(
+        graph=graph,
+        schedule=schedule,
+        plan=plan,
+        policy=policy,
+        decisions=decisions,
+        baseline_step_s=baseline_step_s,
+        budget_s=budget_s,
+        total_cost_s=spent,
+        allocated_bytes=allocated,
+        baseline_allocated_bytes=baseline_allocated,
+        pure_footprints=pure_footprints,
+        fallback_strategy=fallback_strategy,
+        rewritten_pools=pools,
+    )

@@ -64,6 +64,39 @@ class RecomputePlan:
         return extra / base
 
 
+def chain_forward_flops(graph: Graph, node_ids) -> int:
+    """Total forward FLOPs of re-executing ``node_ids`` in order.
+
+    The shared cost-accounting primitive of both recompute planners: the
+    segment checkpointer below re-runs whole trunk segments, the hybrid
+    planner (:mod:`repro.memory.hybrid`) re-runs per-tensor ancestor
+    chains.  Either way the price is the sum of the member ops' forward
+    FLOPs — convolutions included, which is the paper's Section II-B
+    argument against recomputation.
+    """
+    total = 0
+    for node_id in node_ids:
+        node = graph.node(node_id)
+        total += node.layer.flops(node.input_shapes(graph), node.output_shape)
+    return total
+
+
+def chain_forward_seconds(graph: Graph, node_ids,
+                          cost: "Optional[CostModel]" = None) -> float:
+    """Modeled wall-clock of re-executing ``node_ids``' forward kernels.
+
+    Unlike :func:`chain_forward_flops` this includes each kernel's memory
+    traffic and launch overhead, so short chains of cheap bandwidth-bound
+    ops (ReLU, pool) are not priced at zero.
+    """
+    from repro.perf.cost import CostModel  # local: avoids memory<->perf cycle
+
+    cost = cost or CostModel()
+    return sum(
+        cost.forward_time(graph, graph.node(node_id)) for node_id in node_ids
+    )
+
+
 def trunk_nodes(graph: Graph) -> List[int]:
     """The dominant sequential chain: nodes with exactly one input whose
     producer they alone consume, starting from the graph input."""
@@ -141,10 +174,7 @@ def build_recompute_plan(
         # sub-chain from the checkpoint — convolutions included.  This is
         # the cost the paper's Section II-B points at: "the largest layers
         # are usually the ones that also take the longest to recompute".
-        for node_id in whole_segment:
-            node = graph.node(node_id)
-            extra_flops += node.layer.flops(node.input_shapes(graph),
-                                            node.output_shape)
+        extra_flops += chain_forward_flops(graph, whole_segment)
         # The backward pass enters a segment at the *deepest* member's
         # backward op (reverse-topological order); all segment maps are
         # re-materialised there and live until their own last use.

@@ -9,6 +9,7 @@ from repro.train.stash import (
     GradientOnlyReductionPolicy,
     BaselinePolicy,
     GistPolicy,
+    HybridExecutionPolicy,
     StashPolicy,
     UniformReductionPolicy,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "GistPolicy",
     "GradientOnlyReductionPolicy",
     "GraphExecutor",
+    "HybridExecutionPolicy",
     "SGD",
     "SparsitySample",
     "StashPolicy",

@@ -136,6 +136,13 @@ class GraphExecutor:
                 flat[f"{node.name}.{pname}"] = arr
         return flat
 
+    def _recompute_directive(self, node_id: int):
+        # ``recompute_directive`` is an optional StashPolicy hook; external
+        # policies duck-typed against the protocol (e.g. GroupQuantPolicy)
+        # may not define it.
+        hook = getattr(self.policy, "recompute_directive", None)
+        return None if hook is None else hook(node_id)
+
     def stashed_value(self, node_id: int) -> np.ndarray:
         """Decode (with caching) the stashed feature map of ``node_id``."""
         checks = self._invariants
@@ -146,6 +153,9 @@ class GraphExecutor:
         try:
             encoding, encoded = self._stash[node_id]
         except KeyError:
+            directive = self._recompute_directive(node_id)
+            if directive is not None:
+                return self._materialize_recompute(node_id, directive)
             name = self.graph.node(node_id).name
             raise KeyError(f"feature map of {name!r} was not stashed") from None
         tracer = self.tracer
@@ -268,8 +278,37 @@ class GraphExecutor:
             tracer.record_loss(loss)
         return loss
 
+    def _materialize_recompute(self, node_id: int, directive) -> np.ndarray:
+        """Rebuild a dropped stash by replaying its forward chain.
+
+        Re-executes the directive's chain from the source's stashed value
+        with throwaway per-node contexts (the original forward contexts —
+        saved argmax maps, masks — stay untouched for the chain members'
+        own backward ops).  Parameters have not changed since the forward
+        pass, and chains exclude RNG/state-mutating layers, so the rebuilt
+        value is bit-identical to the dropped one.  Cached in the decoded
+        store, so each chain replays at most once per backward pass.
+        """
+        x = self.stashed_value(directive.source_id)
+        tracer = self.tracer
+        t0 = perf_counter() if tracer is not None else 0.0
+        for chain_id in directive.chain:
+            node = self.graph.node(chain_id)
+            ctx = _Context(self, node)
+            x = node.layer.forward([x], self.params[chain_id], ctx, True)
+            x = self.policy.transform_forward(x, node)
+        if tracer is not None:
+            tracer.record_decode(self.graph.node(node_id).name, "recompute",
+                                 x.nbytes, perf_counter() - t0)
+        self._decoded[node_id] = x
+        return x
+
     def _maybe_stash(self, node: OpNode, y: np.ndarray) -> None:
         if not self._runtime_needs_stash(node):
+            return
+        if self._recompute_directive(node.node_id) is not None:
+            # A hybrid recompute decision: the map is dropped after its
+            # last forward use and rebuilt on demand in the backward pass.
             return
         encoding = self.policy.encoding_for(self.graph, node.node_id)
         encoding.bind_arena(self.arena if self.kernels_enabled else None)

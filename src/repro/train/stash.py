@@ -12,12 +12,16 @@ The executor routes every stashed feature map through a policy:
 * :class:`AllFP16Policy` — the prior-work baseline: quantise every layer
   output *in the forward pass*, so error propagates through subsequent
   layers (the curve that diverges in Figure 12).
+* :class:`HybridExecutionPolicy` — executes a hybrid planner decision
+  table (:class:`~repro.memory.hybrid.HybridPlan`): gist choices get
+  their codec, swap choices a host-buffer copy, recompute choices a
+  directive the executor replays in the backward pass.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -28,13 +32,16 @@ from repro.core.analysis import (
 )
 from repro.core.policy import GistConfig
 from repro.dtypes import DPR_FORMATS, FP16
-from repro.encodings.base import Encoding, IdentityEncoding
+from repro.encodings.base import Encoding, HostSwapEncoding, IdentityEncoding
 from repro.encodings.binarize import BinarizeEncoding
 from repro.encodings.dpr import DPREncoding
 from repro.encodings.floatsim import quantize
 from repro.encodings.ssdc import SSDCEncoding
 from repro.graph.graph import Graph
 from repro.graph.node import OpNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.hybrid import HybridPlan, RecomputeDirective
 
 
 class StashPolicy(abc.ABC):
@@ -55,6 +62,18 @@ class StashPolicy(abc.ABC):
     def transform_gradient(self, dx: np.ndarray, node: OpNode) -> np.ndarray:
         """Hook applied to every gradient map a backward op produces."""
         return dx
+
+    def recompute_directive(
+        self, node_id: int
+    ) -> "Optional[RecomputeDirective]":
+        """Rebuild instruction for ``node_id``'s stash, or ``None``.
+
+        When set, the executor skips stashing the node's output in the
+        forward pass and re-executes the directive's chain on the first
+        backward read instead.  Only :class:`HybridExecutionPolicy`
+        returns directives.
+        """
+        return None
 
     #: If set, the trainer re-quantises every weight to this format after
     #: each optimiser step (uniform-reduction baselines store weights in
@@ -173,3 +192,63 @@ class GradientOnlyReductionPolicy(StashPolicy):
     def describe(self) -> str:
         """Label: ``"grad-only-<format>"``."""
         return f"grad-only-{self.dtype.name}"
+
+
+class HybridExecutionPolicy(StashPolicy):
+    """Executes a hybrid planner decision table at the stash layer.
+
+    Built from a :class:`~repro.memory.hybrid.HybridPlan`:
+
+    * **gist** decisions stash through the decided codec (Binarize /
+      SSDC / DPR, configured exactly as :class:`GistPolicy` would);
+    * **swap** decisions stash through :class:`HostSwapEncoding` — a
+      bit-exact host-buffer copy standing in for the PCIe offload;
+    * **recompute** decisions are *not stashed at all*: the executor
+      queries :meth:`recompute_directive` and replays the forward chain
+      from the directive's source on the first backward read;
+    * undecided stashes keep the FP32 identity baseline.
+
+    With a lossless plan (the default :class:`~repro.core.policy.
+    HybridPolicy` uses ``GistConfig.lossless()``) every path reproduces
+    the baseline's backward inputs bit for bit, so losses and gradients
+    are bit-identical to :class:`BaselinePolicy` — the property the
+    hybrid-execution tests pin with golden digests.
+    """
+
+    def __init__(self, plan: "HybridPlan"):
+        from repro.core.schedule_builder import ENC_BINARIZE, ENC_SSDC
+        from repro.memory.hybrid import CHOICE_GIST, CHOICE_SWAP
+
+        self.plan = plan
+        cfg = plan.policy.gist
+        dpr_dtype = DPR_FORMATS[cfg.dpr_format]
+        self._identity = IdentityEncoding()
+        self._swap = HostSwapEncoding()
+        self._binarize = BinarizeEncoding()
+        self._ssdc = SSDCEncoding(
+            cols=cfg.ssdc_cols,
+            value_dtype=dpr_dtype if (cfg.dpr and cfg.dpr_over_ssdc) else None,
+        )
+        self._dpr = DPREncoding(dpr_dtype, cfg.rounding)
+        self._directives = plan.recompute_directives()
+        self._table: Dict[int, Encoding] = {}
+        for node_id, decision in plan.decisions.items():
+            if decision.choice == CHOICE_SWAP:
+                self._table[node_id] = self._swap
+            elif decision.choice == CHOICE_GIST:
+                if decision.encoding == ENC_BINARIZE:
+                    self._table[node_id] = self._binarize
+                elif decision.encoding == ENC_SSDC:
+                    self._table[node_id] = self._ssdc
+                else:
+                    self._table[node_id] = self._dpr
+
+    def encoding_for(self, graph: Graph, node_id: int) -> Encoding:
+        return self._table.get(node_id, self._identity)
+
+    def recompute_directive(self, node_id: int):
+        return self._directives.get(node_id)
+
+    def describe(self) -> str:
+        """Label: the plan policy's (``"hybrid"`` / ``"hybrid-<arm>"``)."""
+        return self.plan.policy.describe()

@@ -12,12 +12,14 @@ from repro.verify.fuzzer import DEFAULT_MAX_OPS, GraphFuzzer, fuzz_graphs
 from repro.verify.oracles import (
     ORACLE_ALLOCATOR_SAFETY,
     ORACLE_DECISION_BYTES,
+    ORACLE_HYBRID,
     ORACLE_PLAN_SAFETY,
     ORACLE_POLICY_BOUNDS,
     ORACLE_ROUNDTRIP,
     Violation,
     check_allocator_safety,
     check_decision_bytes,
+    check_hybrid_plan,
     check_measured_bytes,
     check_plan_safety,
     check_policy_bounds,
@@ -42,12 +44,14 @@ __all__ = [
     "GraphFuzzer",
     "ORACLE_ALLOCATOR_SAFETY",
     "ORACLE_DECISION_BYTES",
+    "ORACLE_HYBRID",
     "ORACLE_PLAN_SAFETY",
     "ORACLE_POLICY_BOUNDS",
     "ORACLE_ROUNDTRIP",
     "Violation",
     "check_allocator_safety",
     "check_decision_bytes",
+    "check_hybrid_plan",
     "check_measured_bytes",
     "check_plan_safety",
     "check_policy_bounds",

@@ -50,6 +50,7 @@ ORACLE_POLICY_BOUNDS = "policy-bounds"
 ORACLE_PLAN_SAFETY = "plan-safety"
 ORACLE_DECISION_BYTES = "decision-bytes"
 ORACLE_ROUNDTRIP = "encoding-roundtrip"
+ORACLE_HYBRID = "hybrid-plan"
 
 
 @dataclass(frozen=True)
@@ -516,6 +517,196 @@ def _check_groupquant_bound(codec: GroupQuantEncoding, x, encoded,
                 ORACLE_ROUNDTRIP,
                 f"{codec.name} stored {encoded.scales.size} groups for "
                 f"{flat.size} values (expected {expect_groups})",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (e) Hybrid plan safety
+# ----------------------------------------------------------------------
+def check_hybrid_plan(hybrid_plan) -> List[Violation]:
+    """Safety of a hybrid (encode x recompute x swap) memory plan.
+
+    Checks, on a :class:`~repro.memory.hybrid.HybridPlan`:
+
+    * **budget** — total selected cost within the policy's step-time
+      budget;
+    * **dominance** — the hybrid arm's allocated footprint is <= every
+      pure arm's under the same budget (the planner's argmin fallback
+      makes this structural; a violation means the fallback broke);
+    * **chain validity** — every recompute chain ends at its target, each
+      link is the sole input of the next (which also makes it acyclic: a
+      repeated node would need two distinct successors), and no member is
+      an RNG/state-mutating kind the executor cannot replay;
+    * **lossy-ancestor regression** — a recompute source carries no
+      value-destroying decision (gist Binarize/DPR) and is not itself
+      recomputed, so replays always read exact forward values;
+    * **liveness** — against independently recomputed uses: every FP32
+      map survives its last forward use, undecided stashes survive their
+      last backward use, and each decision's replacement tensor (encoded
+      stash / prefetch buffer / rebuilt map) covers the backward reads —
+      with a swapped recompute-source's prefetch additionally covering
+      the *target's* first backward read, where the replay happens.
+    """
+    from repro.memory.hybrid import (
+        CHOICE_GIST,
+        CHOICE_RECOMPUTE,
+        CHOICE_SWAP,
+        NON_RECOMPUTABLE_KINDS,
+    )
+
+    graph, schedule = hybrid_plan.graph, hybrid_plan.schedule
+    pools_rewritten = hybrid_plan.policy.gist.binarize
+    violations: List[Violation] = []
+
+    if hybrid_plan.total_cost_s > hybrid_plan.budget_s * (1 + 1e-9) + 1e-12:
+        violations.append(Violation(
+            ORACLE_HYBRID,
+            f"selected cost {hybrid_plan.total_cost_s:.3e}s exceeds budget "
+            f"{hybrid_plan.budget_s:.3e}s",
+        ))
+    for strategy, footprint in sorted(hybrid_plan.pure_footprints.items()):
+        if hybrid_plan.allocated_bytes > footprint:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"hybrid allocated {hybrid_plan.allocated_bytes} bytes > "
+                f"pure-{strategy} {footprint} under the same budget",
+            ))
+
+    fm: Dict[int, LiveTensor] = {}
+    replacement: Dict[int, LiveTensor] = {}
+    for t in hybrid_plan.plan.tensors:
+        name = t.spec.name
+        if t.role == ROLE_FEATURE_MAP and name.endswith(".out"):
+            fm[t.node_id] = t
+        elif name.endswith((".out.enc", ".out.prefetch", ".out.recomp")):
+            replacement[t.node_id] = t
+
+    for node in graph.nodes:
+        nid = node.node_id
+        last_fwd, first_bwd, last_bwd = _independent_uses(
+            graph, schedule, nid, pools_rewritten
+        )
+        decision = hybrid_plan.decisions.get(nid)
+        t = fm.get(nid)
+        if t is None:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"feature map of node {node.name!r} missing from plan",
+            ))
+            continue
+        if t.death < last_fwd:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{t.spec.name!r} dies at {t.death} before its last "
+                f"forward use at {last_fwd}",
+            ))
+        if decision is None:
+            if last_bwd is not None and t.death < last_bwd:
+                violations.append(Violation(
+                    ORACLE_HYBRID,
+                    f"undecided stash {t.spec.name!r} dies at {t.death} "
+                    f"before its last backward use at {last_bwd}",
+                ))
+            continue
+        r = replacement.get(nid)
+        if r is None:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{decision.choice} decision for {node.name!r} has no "
+                f"replacement tensor in the plan",
+            ))
+            continue
+        if decision.choice == CHOICE_GIST:
+            if r.birth > last_fwd:
+                violations.append(Violation(
+                    ORACLE_HYBRID,
+                    f"{r.spec.name!r} born at {r.birth}, after the FP32 "
+                    f"map's last forward use at {last_fwd}",
+                ))
+        elif first_bwd is not None and r.birth > first_bwd:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{r.spec.name!r} born at {r.birth}, after the first "
+                f"backward use at {first_bwd}",
+            ))
+        if last_bwd is not None and r.death < last_bwd:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{r.spec.name!r} dies at {r.death} before the last "
+                f"backward use at {last_bwd}",
+            ))
+        if decision.choice == CHOICE_GIST and r.size_bytes != \
+                decision.resident_bytes:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{decision.node_name}: decision prices "
+                f"{decision.resident_bytes} resident bytes, plan carries "
+                f"{r.size_bytes}",
+            ))
+
+    for decision in hybrid_plan.decisions.values():
+        if decision.choice != CHOICE_RECOMPUTE:
+            continue
+        name = decision.node_name
+        chain = decision.chain
+        if not chain or chain[-1] != decision.node_id:
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{name}: recompute chain {chain} does not end at the "
+                f"target node {decision.node_id}",
+            ))
+            continue
+        prev = decision.source_id
+        valid = True
+        for chain_id in chain:
+            chain_node = graph.node(chain_id)
+            if chain_node.kind in NON_RECOMPUTABLE_KINDS:
+                violations.append(Violation(
+                    ORACLE_HYBRID,
+                    f"{name}: chain member {chain_node.name!r} is a "
+                    f"non-replayable {chain_node.kind!r} op",
+                ))
+                valid = False
+            if list(chain_node.inputs) != [prev]:
+                violations.append(Violation(
+                    ORACLE_HYBRID,
+                    f"{name}: chain member {chain_node.name!r} has inputs "
+                    f"{list(chain_node.inputs)}, expected [{prev}]",
+                ))
+                valid = False
+                break
+            prev = chain_id
+        source = hybrid_plan.decisions.get(decision.source_id)
+        if source is not None and source.choice not in (CHOICE_SWAP,):
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{name}: recompute source {source.node_name!r} carries a "
+                f"{source.choice}"
+                + (f"/{source.encoding}" if source.encoding else "")
+                + " decision — replays would read inexact or missing values",
+            ))
+        if not valid:
+            continue
+        # The source's surviving representation must be live at the
+        # target's first backward read, where the replay happens.
+        _, target_first_bwd, _ = _independent_uses(
+            graph, schedule, decision.node_id, pools_rewritten
+        )
+        if target_first_bwd is None:
+            continue
+        if source is not None and source.choice == CHOICE_SWAP:
+            live = replacement.get(decision.source_id)
+        else:
+            live = fm.get(decision.source_id)
+        if live is not None and not (
+            live.birth <= target_first_bwd <= live.death
+        ):
+            violations.append(Violation(
+                ORACLE_HYBRID,
+                f"{name}: source tensor {live.spec.name!r} "
+                f"[{live.birth},{live.death}] is not live at the target's "
+                f"first backward read {target_first_bwd}",
             ))
     return violations
 

@@ -18,6 +18,8 @@ decision-bytes         every EncodingDecision.encoded_bytes matches a
                        measured encode() on realistic data
 encoding-roundtrip     lossless codecs bit-exact, lossy codecs within
                        declared bounds, on adversarial inputs
+hybrid-plan            hybrid planner budget/dominance/chain/liveness
+                       safety; hybrid footprint <= every pure arm
 =====================  ==============================================
 
 Violations carry the seed, so ``repro fuzz --seeds 1 --start-seed S``
@@ -55,6 +57,7 @@ from repro.verify.oracles import (
     Violation,
     check_allocator_safety,
     check_decision_bytes,
+    check_hybrid_plan,
     check_measured_bytes,
     check_plan_safety,
     check_policy_bounds,
@@ -207,6 +210,21 @@ def verify_graph(
                 Violation(v.oracle, v.detail, seed, label)
                 for v in check_allocator_safety(result, plan.plan.tensors)
             ]
+
+    # (e) hybrid planner: budget/dominance/chain/liveness safety, plus
+    # allocator safety on the hybrid-rewritten liveness table.
+    from repro.memory.hybrid import build_hybrid_plan
+
+    hybrid = build_hybrid_plan(graph, schedule=schedule)
+    violations += [
+        Violation(v.oracle, v.detail, seed, "hybrid")
+        for v in check_hybrid_plan(hybrid)
+    ]
+    hybrid_result = StaticAllocator().allocate(hybrid.plan.tensors)
+    violations += [
+        Violation(v.oracle, v.detail, seed, "hybrid")
+        for v in check_allocator_safety(hybrid_result, hybrid.plan.tensors)
+    ]
     return [Violation(v.oracle, v.detail, seed, v.subject)
             for v in violations]
 

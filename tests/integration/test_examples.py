@@ -1,7 +1,10 @@
-"""Smoke tests: the example scripts run to completion.
+"""Smoke tests: every example script runs to completion.
 
-Only the fast (analysis-only) examples run here; the training examples
-are exercised indirectly through the Figure 12/14 benches.
+The training-heavy examples honour ``REPRO_FAST=1`` (fewer samples,
+epochs and sweep points), so the whole directory can run here; the
+analysis-only examples ignore the flag.  A parametrized sweep discovers
+``examples/*.py`` dynamically — a new example is covered the day it
+lands or this file fails to list it.
 """
 
 import runpy
@@ -11,6 +14,12 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+#: Examples taking CLI arguments needed to keep the smoke run small.
+EXTRA_ARGV = {
+    "reproduce_paper.py": ["--batch-size", "8"],
+}
 
 
 def run_example(name: str, argv=None, monkeypatch=None):
@@ -19,7 +28,21 @@ def run_example(name: str, argv=None, monkeypatch=None):
     runpy.run_path(str(EXAMPLES / name), run_name="__main__")
 
 
-class TestExamples:
+class TestAllExamplesFastMode:
+    def test_every_example_is_listed(self):
+        assert ALL_EXAMPLES, "examples directory went missing"
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_runs(self, name, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        argv = list(EXTRA_ARGV.get(name, []))
+        if name == "reproduce_paper.py":
+            argv += ["--out", str(tmp_path / "out.json")]
+        run_example(name, argv, monkeypatch)
+        assert capsys.readouterr().out.strip()
+
+
+class TestExampleOutput:
     def test_quickstart(self, capsys):
         run_example("quickstart.py")
         out = capsys.readouterr().out
@@ -42,3 +65,24 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "averages" in out
         assert out_file.exists()
+
+    def test_train_with_dpr_fast(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        run_example("train_with_dpr.py")
+        out = capsys.readouterr().out
+        assert "uniform (forward-pass) FP8" in out
+        assert "delayed (backward-only) FP8" in out
+
+    def test_custom_encoding_fast(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        run_example("custom_encoding.py")
+        out = capsys.readouterr().out
+        assert "stash compression" in out
+        assert "Top-K" in out
+
+    def test_fit_larger_networks_fast(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        run_example("fit_larger_networks.py")
+        out = capsys.readouterr().out
+        assert "baseline batch" in out
+        assert "deepest trainable" in out

@@ -6,6 +6,8 @@ from repro.memory import (
     StaticAllocator,
     build_memory_plan,
     build_recompute_plan,
+    chain_forward_flops,
+    chain_forward_seconds,
     trunk_nodes,
 )
 from repro.models import scaled_vgg, tiny_cnn, vgg16
@@ -93,6 +95,12 @@ class TestRecomputePlan:
         with pytest.raises(ValueError):
             build_recompute_plan(scaled_vgg(batch_size=8), segment_length=0)
 
+    def test_bad_segment_rejection_leaves_graph_usable(self):
+        g = scaled_vgg(batch_size=8)
+        with pytest.raises(ValueError):
+            build_recompute_plan(g, segment_length=-3)
+        assert build_recompute_plan(g).plan.tensors  # graph still planable
+
     def test_longer_segments_save_more_pay_more(self):
         g = vgg16(batch_size=8)
         alloc = StaticAllocator()
@@ -102,3 +110,38 @@ class TestRecomputePlan:
         long_bytes = alloc.allocate(long.plan.tensors).total_bytes
         assert long_bytes <= short_bytes
         assert long.extra_forward_flops >= short.extra_forward_flops
+
+
+class TestChainCost:
+    """Accounting for explicit chain replays (the hybrid planner's unit)."""
+
+    def test_flops_sum_over_members(self):
+        g = scaled_vgg(batch_size=8)
+        chain = [n.node_id for n in g.nodes if n.name in ("conv1_2",
+                                                          "relu1_2")]
+        per_node = [
+            g.node(nid).layer.flops(g.node(nid).input_shapes(g),
+                                    g.node(nid).output_shape)
+            for nid in chain
+        ]
+        assert chain_forward_flops(g, chain) == sum(per_node)
+
+    def test_empty_chain_is_free(self):
+        g = scaled_vgg(batch_size=8)
+        assert chain_forward_flops(g, []) == 0
+
+    def test_seconds_monotone_in_chain_extension(self):
+        g = scaled_vgg(batch_size=8)
+        conv = g.node_by_name("conv2_1").node_id
+        relu = g.node_by_name("relu2_1").node_id
+        short = chain_forward_seconds(g, [relu])
+        long = chain_forward_seconds(g, [conv, relu])
+        assert 0.0 < short < long
+
+    def test_conv_dominates_relu_cost(self):
+        # The planner's ratio ordering depends on convs costing far more
+        # to replay than the elementwise ops whose maps they rebuild.
+        g = scaled_vgg(batch_size=8)
+        conv = chain_forward_seconds(g, [g.node_by_name("conv3_1").node_id])
+        relu = chain_forward_seconds(g, [g.node_by_name("relu3_1").node_id])
+        assert conv > relu

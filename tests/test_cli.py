@@ -99,3 +99,29 @@ class TestCLITrace:
     def test_trace_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             main(["trace", "--policy", "gist-fp99"])
+
+
+class TestCLIPlan:
+    def test_plan_prints_decision_table(self, capsys):
+        assert main(["plan", "scaled_vgg", "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out
+        assert "baseline allocated" in out
+        assert "plan allocated" in out
+        assert "pure gist" in out and "pure swap" in out
+
+    def test_plan_recompute_strategy_shows_chains(self, capsys):
+        assert main(["plan", "scaled_vgg", "--batch-size", "8",
+                     "--strategy", "recompute", "--budget", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid-recompute" in out
+        assert "recompute <-" in out  # per-tensor source chains
+
+    def test_plan_lossy_config(self, capsys):
+        assert main(["plan", "scaled_vgg", "--batch-size", "8",
+                     "--config", "fp8"]) == 0
+        assert "budget" in capsys.readouterr().out
+
+    def test_plan_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "scaled_vgg", "--strategy", "telepathy"])
