@@ -10,10 +10,12 @@ and gates on two properties:
 * **speedup** — the parallel run must be >= ``MIN_SPEEDUP`` x faster
   wall-clock.  Sharding 100 independent seeds over N cores is
   embarrassingly parallel, so anything less means the pool is
-  serialising somewhere.  The gate only applies when the machine
-  actually has ``PARALLEL_WORKERS`` usable cores — on smaller hosts the
-  speedup is recorded but reported as not applicable (a 1-core box
-  cannot run 4 workers faster than 1).
+  serialising somewhere.  The gate only applies when the process may
+  actually use ``PARALLEL_WORKERS`` cores — measured via
+  :func:`repro.orchestrate.usable_cores`, i.e. the scheduler affinity
+  mask *and* the cgroup CPU quota, not ``os.cpu_count()`` — on smaller
+  hosts the speedup is recorded but reported as not applicable (a 1-core
+  box cannot run 4 workers faster than 1).
 
 Writes machine-readable results to ``BENCH_orchestrate.json`` at the
 repo root (or the path given as argv[1]) and prints a summary.
@@ -26,25 +28,18 @@ Run directly::
 from __future__ import annotations
 
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
 from repro.ioutil import atomic_write_json
+from repro.orchestrate import cgroup_cpu_quota, usable_cores
 from repro.verify import run_fuzz
 
 NUM_SEEDS = 100
 PARALLEL_WORKERS = 4
 MIN_SPEEDUP = 2.5
 WARMUP_SEEDS = 3
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _timed_fuzz(workers: int):
@@ -63,7 +58,7 @@ def main(out_path: str = "BENCH_orchestrate.json") -> dict:
     parallel_bytes = json.dumps(parallel_report.to_json(), sort_keys=True)
     byte_identical = serial_bytes == parallel_bytes
 
-    cores = _usable_cores()
+    cores = usable_cores()
     speedup = serial_s / parallel_s
     speedup_gate_applicable = cores >= PARALLEL_WORKERS
     speedup_ok = (speedup >= MIN_SPEEDUP) if speedup_gate_applicable else True
@@ -73,6 +68,7 @@ def main(out_path: str = "BENCH_orchestrate.json") -> dict:
         "num_seeds": NUM_SEEDS,
         "workers": PARALLEL_WORKERS,
         "usable_cores": cores,
+        "cgroup_cpu_quota": cgroup_cpu_quota(),
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": speedup,

@@ -41,8 +41,12 @@ def _run_mode(policy_name: str, use_plans: bool, images, labels):
     graph = scaled_vgg(batch_size=BATCH)
     policy = (GistPolicy(graph) if policy_name == "gist"
               else BaselinePolicy())
+    # Pin the plan-cache arm explicitly: this benchmark isolates the
+    # plan layer, so the measured-autotuner dispatch (whose arms are
+    # timed per-arm by bench_backends.py) must not float the A side.
     ex = GraphExecutor(graph, policy=policy, seed=0,
-                       use_kernel_plans=use_plans)
+                       use_kernel_plans=use_plans,
+                       kernel_backend="numpy-plan" if use_plans else None)
     opt = SGD(lr=0.01, momentum=0.9)
     times, trace = [], []
     for step in range(WARMUP_STEPS + TIMED_STEPS):

@@ -16,6 +16,8 @@ Commands:
 * ``plan`` — hybrid memory planner: per-tensor encode/recompute/swap
   decision table plus footprints of every strategy arm.
 * ``sweep`` — figure drivers across the model suite as parallel units.
+* ``bench`` — per-arm kernel-backend microbenchmark on this machine,
+  plus the autotuner's measured selections.
 """
 
 from __future__ import annotations
@@ -300,6 +302,69 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if data["ok"] else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import statistics
+    import time
+
+    import numpy as np
+
+    from repro.kernels import autotune_report, backends_for
+    from repro.kernels.backends import op_families
+
+    wanted = set(args.ops.split(",")) if args.ops else None
+    rng = np.random.default_rng(args.seed)
+    rows: List[dict] = []
+    for family in op_families():
+        if wanted is not None and family.op not in wanted:
+            continue
+        inputs = family.make_inputs(rng)
+        timings = {}
+        for backend in backends_for(family.op):
+            reps = []
+            for _ in range(max(1, args.repeats)):
+                t0 = time.perf_counter()
+                family.run(backend, inputs)
+                reps.append(time.perf_counter() - t0)
+            timings[backend.name] = (statistics.median(reps), backend)
+        fastest = min(timings, key=lambda n: timings[n][0])
+        for name, (median_s, backend) in timings.items():
+            rows.append({
+                "op": family.op,
+                "backend": name,
+                "median_ms": median_s * 1000,
+                "contract": ("exact" if backend.exact
+                             else f"tolerance={backend.tolerance:g}"),
+                "fastest": name == fastest,
+            })
+    if wanted is not None and not rows:
+        print(f"no registered ops match {sorted(wanted)}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["op", "backend", "median", "contract", ""],
+        [[r["op"], r["backend"], f"{r['median_ms']:.3f} ms",
+          r["contract"], "<- fastest" if r["fastest"] else ""]
+         for r in rows],
+    ))
+    selections = autotune_report()
+    if selections:
+        print("\nautotuned selections (this process):")
+        for record in selections:
+            print(f"  {record['op']} {record['signature']}: "
+                  f"{record['backend']} [{record['source']}]")
+    if args.out:
+        from repro.ioutil import atomic_write_json
+
+        out = atomic_write_json(args.out, {
+            "benchmark": "kernel_backends_micro",
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "rows": rows,
+            "autotune": selections,
+        })
+        print(f"wrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -420,6 +485,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "default: results/sweep.json)")
     _add_orchestration_arguments(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("bench", help="time every kernel-backend arm per "
+                                     "op on this machine")
+    p.add_argument("--ops", default=None, metavar="A,B,...",
+                   help="comma-separated op filter (default: every "
+                        "registered op family)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timed repetitions per arm (default: 5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the shared random inputs (default: 0)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write machine-readable JSON here")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

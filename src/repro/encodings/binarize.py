@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.dtypes import BIT1, NIBBLE4
 from repro.encodings.base import Encoding
+from repro.kernels.backends import run_codec
 
 
 def pack_bits(mask: np.ndarray, arena=None) -> np.ndarray:
@@ -37,7 +38,7 @@ def pack_bits(mask: np.ndarray, arena=None) -> np.ndarray:
         buf = arena.rent((nbytes_padded,), np.uint8)
     else:
         buf = np.zeros(nbytes_padded, dtype=np.uint8)
-    packed = np.packbits(flat, bitorder="little")
+    packed = run_codec("pack_bits", flat)
     buf[: packed.size] = packed
     if arena is not None:
         buf[packed.size:] = 0  # rented buffers arrive uninitialised
@@ -67,10 +68,7 @@ def pack_nibbles(values: np.ndarray, arena=None) -> np.ndarray:
         buf[npairs:] = 0
     else:
         buf = np.zeros(nbytes_padded, dtype=np.uint8)
-    buf[:npairs] = flat[0::2]
-    half = n // 2
-    if half:
-        buf[:half] |= flat[1::2] << np.uint8(4)
+    buf[:npairs] = run_codec("pack_nibbles", flat)
     return buf.view(np.uint32)
 
 

@@ -27,6 +27,7 @@ from repro.encodings.base import Encoding
 from repro.encodings.binarize import pack_bits, unpack_bits
 from repro.encodings.dpr import DPRTensor, pack_codes, unpack_codes
 from repro.encodings.floatsim import decode_minifloat, encode_minifloat
+from repro.kernels.backends import run_codec
 
 #: Row width of the narrow-value reshape: 256 columns -> uint8 indices.
 NARROW_COLS = 256
@@ -86,16 +87,7 @@ def csr_encode(
     if cols <= 0:
         raise ValueError(f"cols must be positive, got {cols}")
     flat = np.asarray(x, dtype=np.float32).ravel()
-    n = flat.size
-    n_rows = max(1, -(-n // cols))
-    row_ptr = np.zeros(n_rows + 1, dtype=np.int32)
-    nz_flat = np.flatnonzero(flat)
-    rows, col_positions = np.divmod(nz_flat, cols)
-    col_positions = col_positions.astype(
-        np.uint8 if cols <= 256 else np.int32
-    )
-    counts = np.bincount(rows, minlength=n_rows)
-    np.cumsum(counts, out=row_ptr[1:])
+    nz_flat, col_positions, row_ptr = run_codec("csr_build", flat, cols)
     raw_values = flat[nz_flat]
     if value_dtype is None:
         values: object = raw_values

@@ -10,10 +10,31 @@ verification.  See the "Runtime kernel layer" section of
 """
 
 from repro.kernels.arena import NULL_ARENA, WorkspaceArena
+from repro.kernels.autotune import (
+    autotune_report,
+    clear_selection_cache,
+)
+from repro.kernels.backends import (
+    KernelBackend,
+    OpFamily,
+    backends_for,
+    default_backend,
+    get_backend,
+    op_families,
+    register_backend,
+    registered_ops,
+    run_codec,
+    select_conv_backend,
+    select_pool_backend,
+    unregister_backend,
+)
 from repro.kernels.config import (
+    backend_override,
+    forced_backend,
     plans_enabled,
     plans_override,
     resolve_kernel_state,
+    set_forced_backends,
     set_plans_enabled,
 )
 from repro.kernels.plan import (
@@ -24,14 +45,31 @@ from repro.kernels.plan import (
 )
 
 __all__ = [
+    "KernelBackend",
     "KernelPlan",
     "NULL_ARENA",
+    "OpFamily",
     "WorkspaceArena",
+    "autotune_report",
+    "backend_override",
+    "backends_for",
     "clear_plan_cache",
+    "clear_selection_cache",
+    "default_backend",
+    "forced_backend",
+    "get_backend",
     "get_plan",
+    "op_families",
     "plan_cache_stats",
     "plans_enabled",
     "plans_override",
+    "register_backend",
+    "registered_ops",
     "resolve_kernel_state",
+    "run_codec",
+    "select_conv_backend",
+    "select_pool_backend",
+    "set_forced_backends",
     "set_plans_enabled",
+    "unregister_backend",
 ]

@@ -218,6 +218,58 @@ class KernelPlan:
             x4 = x4[:, :, self.pad:self.pad + h, self.pad:self.pad + w]
         return x4
 
+    def im2col_t(
+        self,
+        x: np.ndarray,
+        arena: Optional[WorkspaceArena] = None,
+        pad_value: float = 0.0,
+    ) -> np.ndarray:
+        """Unfold ``x`` into *transposed* columns (C*kh*kw, N*OH*OW).
+
+        Same gather as :meth:`im2col` through an axis-permuted window
+        view, but laid out so the whole batch forms one fat GEMM operand:
+        ``out[c*S + ki*kw + kj, n*P + oy*ow + ox]``.  The ``blas-fat``
+        conv backend contracts this with the filter matrix in a single
+        BLAS call instead of one GEMM per sample.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, _, _ = self.shape
+        src = self._padded(x, pad_value)
+        out = arena.rent((self.K, n * self.P), x.dtype)
+        out6 = out.reshape(c, self.kh, self.kw, n, self.oh, self.ow)
+        np.copyto(out6, self._window_view(src).transpose(1, 2, 3, 0, 4, 5))
+        return out
+
+    def col2im_t(
+        self, cols_t: np.ndarray, arena: Optional[WorkspaceArena] = None
+    ) -> np.ndarray:
+        """Adjoint of :meth:`im2col_t`; bit-identical to :meth:`col2im`.
+
+        Accumulates the ``S`` shifted slot planes directly into the padded
+        gradient with strided adds, in the same ascending ``(ki, kj)``
+        order as :meth:`col2im`'s sequential slot-axis reduction (numpy
+        reduces a non-contiguous axis serially), so every per-element
+        accumulation — and therefore every bit of the result — matches
+        :meth:`col2im` on the equivalent ``(N, K, P)`` gradient, while
+        skipping the (N, S, Q) scatter workspace and its extra pass.
+        """
+        arena = arena if arena is not None else NULL_ARENA
+        n, c, h, w = self.shape
+        cols6 = np.ascontiguousarray(cols_t).reshape(
+            c, self.kh, self.kw, n, self.oh, self.ow
+        )
+        out = arena.rent((n, self.Q), cols_t.dtype)
+        x4 = out.reshape(n, c, self.hp, self.wp)
+        x4.fill(0)
+        s = self.stride
+        for ki in range(self.kh):
+            for kj in range(self.kw):
+                x4[:, :, ki:ki + s * self.oh:s, kj:kj + s * self.ow:s] += \
+                    cols6[:, ki, kj].transpose(1, 0, 2, 3)
+        if self.pad:
+            x4 = x4[:, :, self.pad:self.pad + h, self.pad:self.pad + w]
+        return x4
+
     def maxpool_forward(
         self, x: np.ndarray, arena: Optional[WorkspaceArena] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -227,10 +279,10 @@ class KernelPlan:
         (uint8, the Y-to-X map of the Binarize rewrite).  When windows
         tile the input exactly (stride == kernel, no padding — the common
         VGG configuration, known statically from the plan) the slot axis
-        is materialised by one reshape/transpose copy instead of the full
-        im2col gather.  Ties, values and winner indices are bit-identical
-        to the reference formulation either way: the slots are compared
-        in the same ``(ki, kj)`` order.
+        is never materialised at all: strided views of the input are
+        max-reduced slot by slot.  Ties, values and winner indices are
+        bit-identical to the reference formulation either way: the slots
+        are compared in the same ``(ki, kj)`` order.
         """
         arena = arena if arena is not None else NULL_ARENA
         n, c, h, w = self.shape
@@ -241,15 +293,25 @@ class KernelPlan:
             and w == self.ow * self.kw
         )
         if disjoint:
-            rented = arena.rent((n, c, self.P, self.S), x.dtype)
             v = x.reshape(n, c, self.oh, self.kh, self.ow, self.kw)
-            cols = rented.reshape(n, c, self.oh, self.ow, self.kh, self.kw)
-            np.copyto(cols, v.transpose(0, 1, 2, 4, 3, 5))
-            cols = rented
-            argmax = cols.argmax(axis=3).astype(np.uint8)
-            y = np.take_along_axis(
-                cols, argmax[:, :, :, None].astype(np.intp), axis=3
-            )[:, :, :, 0]
+            y = np.empty((n, c, self.P), dtype=x.dtype)
+            y3 = y.reshape(n, c, self.oh, self.ow)
+            np.copyto(y3, v[:, :, :, 0, :, 0])
+            argmax = np.zeros((n, c, self.P), dtype=np.uint8)
+            am3 = argmax.reshape(n, c, self.oh, self.ow)
+            mask = arena.rent((n, c, self.oh, self.ow), np.bool_)
+            # Running strict-greater max over ascending slots: ties keep
+            # the earlier slot, exactly argmax's first-max rule, and
+            # np.maximum returns its first operand on equality, so tied
+            # values (including signed zeros) match take_along_axis too.
+            for slot in range(1, self.S):
+                ki, kj = divmod(slot, self.kw)
+                vs = v[:, :, :, ki, :, kj]
+                np.greater(vs, y3, out=mask)
+                np.copyto(am3, np.uint8(slot), where=mask)
+                np.maximum(y3, vs, out=y3)
+            arena.release(mask)
+            rented = None
         else:
             rented = self.im2col(x, arena, pad_value=-np.inf)
             cols = rented.reshape(n, c, self.S, self.P)
@@ -257,7 +319,8 @@ class KernelPlan:
             y = np.take_along_axis(
                 cols, argmax[:, :, None, :].astype(np.intp), axis=2
             )[:, :, 0, :]
-        arena.release(rented)
+        if rented is not None:
+            arena.release(rented)
         y = y.reshape(n, c, self.oh, self.ow)
         return y.astype(np.float32, copy=False), argmax.reshape(
             n, c, self.oh, self.ow

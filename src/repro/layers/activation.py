@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels.config import resolve_kernel_state
 from repro.layers.base import Layer, OpContext, Shape
 
 
@@ -54,10 +55,27 @@ class ReLU(Layer):
         ctx: OpContext,
     ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
         y = ctx.stashed_output()
+        enabled, arena = resolve_kernel_state(ctx)
+        enabled = enabled and arena is not None
         if y.dtype == np.bool_:
             mask = y  # Binarize handed us the 1-bit positivity mask directly.
+            scratch = None
+        elif enabled:
+            scratch = arena.rent(y.shape, np.bool_)
+            np.greater(y, 0, out=scratch)
+            mask = scratch
         else:
             mask = y > 0
+            scratch = None
+        if enabled:
+            # The gradient rides an arena buffer: it is dead by the next
+            # step's reset, and renting skips a fresh multi-MB allocation
+            # (and its page faults) on every backward call.
+            dx = arena.rent(dy.shape, dy.dtype)
+            np.multiply(dy, mask, out=dx)
+            if scratch is not None:
+                arena.release(scratch)
+            return [dx], {}
         return [dy * mask], {}
 
 

@@ -109,28 +109,31 @@ class Conv2D(Layer):
         n, c, h, w = x.shape
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
         enabled, arena = resolve_kernel_state(ctx)
-        wmat = params["w"].reshape(self.out_channels, -1)
+        bias = params["b"] if self.bias else None
         if enabled:
-            from repro.kernels.plan import gemm_forward, get_plan
+            from repro.kernels.backends import select_conv_backend
 
-            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
-            cols = plan.im2col(x, arena)
-            # Per-signature autotuned GEMM: matmul where it is provably
-            # bit-identical to the reference einsum, einsum otherwise.
-            y = gemm_forward(wmat, cols)
-            if (
-                train
-                and ctx is not None
-                and ctx.stashed_input_lossless()
-            ):
+            # Per-signature autotuned backend: the chooser probes every
+            # registered arm on live data and promotes the fastest one
+            # that is bit-identical (values + layout) to the incumbent.
+            backend = select_conv_backend(ctx, x, params["w"], bias,
+                                          self.stride, self.pad)
+            want_saved = bool(
+                train and ctx is not None and ctx.stashed_input_lossless()
+            )
+            y, saved = backend.forward(x, params["w"], bias, self.stride,
+                                       self.pad, arena=arena,
+                                       want_saved=want_saved)
+            if want_saved and saved is not None:
                 # The stash decodes to exactly this x, so the backward
-                # pass can reuse these columns instead of re-gathering.
-                ctx.save_state("cols", cols)
-            elif arena is not None:
-                arena.release(cols)
-        else:
-            cols = im2col_reference(x, self.kh, self.kw, self.stride, self.pad)
-            y = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
+                # pass can reuse the arm's columns instead of
+                # re-gathering (the arm name keys the stash because
+                # each arm's column layout is its own).
+                ctx.save_state("cols", (backend.name, saved))
+            return y
+        wmat = params["w"].reshape(self.out_channels, -1)
+        cols = im2col_reference(x, self.kh, self.kw, self.stride, self.pad)
+        y = np.einsum("fk,nkp->nfp", wmat, cols, optimize=True)
         if self.bias:
             y += params["b"][None, :, None]
         return y.reshape(n, self.out_channels, oh, ow).astype(np.float32, copy=False)
@@ -149,32 +152,23 @@ class Conv2D(Layer):
         k = wmat.shape[1]
         enabled, arena = resolve_kernel_state(ctx)
         if enabled:
-            from repro.kernels.plan import gemm_dcols, get_plan
+            from repro.kernels.backends import select_conv_backend
 
-            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
+            bias = params["b"] if self.bias else None
+            backend = select_conv_backend(ctx, x, params["w"], bias,
+                                          self.stride, self.pad)
             try:
-                cols = ctx.get_state("cols")
+                saved_entry = ctx.get_state("cols")
             except KeyError:
-                cols = None
-            if cols is None:
-                cols = plan.im2col(x, arena)
-            # Same contraction as the reference path, so dW is
-            # bit-identical by construction; the planned win is the
-            # loop-free gather feeding it and the pooled buffers.
-            dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(
-                params["w"].shape
-            )
+                saved_entry = None
+            saved = None
+            if saved_entry is not None:
+                saved_name, saved_obj = saved_entry
+                if saved_name == backend.name:
+                    saved = saved_obj
+            dx, dw = backend.backward(x, params["w"], dy, self.stride,
+                                      self.pad, arena=arena, saved=saved)
             ctx.save_state("cols", None)
-            if arena is not None:
-                arena.release(cols)
-                dcols = gemm_dcols(
-                    wmat, dy_mat, out=arena.rent((n, k, p), np.float32)
-                )
-            else:
-                dcols = gemm_dcols(wmat, dy_mat)
-            dx = plan.col2im(dcols, arena)
-            if arena is not None:
-                arena.release(dcols)
         else:
             cols = im2col_reference(x, self.kh, self.kw, self.stride, self.pad)
             dw = np.einsum("nfp,nkp->fk", dy_mat, cols, optimize=True).reshape(

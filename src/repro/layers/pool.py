@@ -94,10 +94,16 @@ class MaxPool2D(_Pool2D):
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
         enabled, arena = resolve_kernel_state(ctx)
         if enabled:
-            from repro.kernels.plan import get_plan
+            from repro.kernels.backends import select_pool_backend
 
-            plan = get_plan(x.shape, self.kh, self.kw, self.stride, self.pad)
-            y, argmax = plan.maxpool_forward(x, arena)
+            backend = select_pool_backend(ctx, x, self.kh, self.kw,
+                                          self.stride, self.pad)
+            y, argmax = backend.forward(x, self.kh, self.kw, self.stride,
+                                        self.pad, arena=arena)
+            if ctx is not None:
+                # The backward pass replays the same arm without needing
+                # the (no longer live) input tensor for re-selection.
+                ctx.save_state("pool_backend", backend.name)
         else:
             if self.pad > 0:
                 x = np.pad(
@@ -129,11 +135,17 @@ class MaxPool2D(_Pool2D):
         oh, ow = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
         enabled, arena = resolve_kernel_state(ctx)
         if enabled:
-            from repro.kernels.plan import get_plan
+            from repro.kernels.backends import default_backend, get_backend
 
-            plan = get_plan((n, c, h, w), self.kh, self.kw, self.stride,
-                            self.pad)
-            return [plan.maxpool_backward(argmax, dy, arena)], {}
+            try:
+                name = ctx.get_state("pool_backend")
+            except KeyError:
+                name = None
+            backend = (get_backend("maxpool2d", name) if name
+                       else default_backend("maxpool2d"))
+            return [backend.backward(argmax, dy, (n, c, h, w), self.kh,
+                                     self.kw, self.stride, self.pad,
+                                     arena=arena)], {}
         hp, wp = h + 2 * self.pad, w + 2 * self.pad
         dx = np.zeros((n, c, hp, wp), dtype=dy.dtype)
         # Decompose the window-local winner index into (di, dj) offsets and

@@ -20,6 +20,7 @@ without giving up the determinism contract the verify layer depends on:
   makes ``--workers 1`` and ``--workers 8`` byte-identical.
 """
 
+from repro.orchestrate.cores import cgroup_cpu_quota, usable_cores
 from repro.orchestrate.journal import JOURNAL_FORMAT, RunJournal
 from repro.orchestrate.pool import UnitResult, run_units
 from repro.orchestrate.units import (
@@ -35,9 +36,11 @@ __all__ = [
     "RunJournal",
     "UnitResult",
     "WorkUnit",
+    "cgroup_cpu_quota",
     "payload_fingerprint",
     "register_kind",
     "registered_kinds",
     "resolve_kind",
     "run_units",
+    "usable_cores",
 ]

@@ -1,7 +1,7 @@
 """Analytical performance substrate: device model, kernel costs, Gist
 overhead, swapping baselines (naive / vDNN) and utilisation modelling."""
 
-from repro.perf.cost import CostModel, StepTime
+from repro.perf.cost import CostModel, StepTime, scale_step
 from repro.perf.device import DeviceSpec, TITAN_X_MAXWELL
 from repro.perf.energy import (
     DRAM_J_PER_BYTE,
@@ -41,6 +41,7 @@ __all__ = [
     "encoding_time_delta",
     "larger_minibatch_speedup",
     "max_minibatch",
+    "scale_step",
     "measure_overhead",
     "measure_transfer_energy",
     "simulate_cdma",

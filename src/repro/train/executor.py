@@ -72,6 +72,11 @@ class _Context(OpContext):
         """The executor's per-instance workspace arena."""
         return self._executor.arena
 
+    @property
+    def kernel_backend(self) -> Optional[str]:
+        """Per-executor backend override (wins over env and autotuner)."""
+        return self._executor.kernel_backend
+
 
 class GraphExecutor:
     """Forward/backward engine over a training graph.
@@ -91,12 +96,18 @@ class GraphExecutor:
             observing this executor.  Every hook site is guarded by a
             single ``is not None`` check, so a detached tracer (the
             default) leaves the hot path untouched.
+        kernel_backend: Force a registered kernel backend by name for
+            every op this executor dispatches (e.g. ``"reference"`` or
+            ``"blas-fat"``).  Wins over ``REPRO_KERNEL_BACKEND`` and the
+            measured autotuner; ops that do not register the name fall
+            back to their normal selection.
     """
 
     def __init__(self, graph: Graph, policy: Optional[StashPolicy] = None,
                  seed: int = 0, use_kernel_plans: Optional[bool] = None,
                  arena: Optional[WorkspaceArena] = None,
-                 tracer: Optional["StepTracer"] = None):
+                 tracer: Optional["StepTracer"] = None,
+                 kernel_backend: Optional[str] = None):
         self.graph = graph
         self.policy = policy or BaselinePolicy()
         self.tracer = tracer
@@ -105,6 +116,7 @@ class GraphExecutor:
             plans_enabled() if use_kernel_plans is None
             else bool(use_kernel_plans)
         )
+        self.kernel_backend = kernel_backend
         self.arena = (
             arena if arena is not None
             else WorkspaceArena(enabled=self.kernels_enabled)

@@ -8,6 +8,11 @@ that claim on graphs nobody hand-wrote.  See
 CLI for the command-line entry point.
 """
 
+from repro.verify.differential import (
+    ORACLE_BACKEND_DIFFERENTIAL,
+    check_backend_agreement,
+    verify_backends,
+)
 from repro.verify.fuzzer import DEFAULT_MAX_OPS, GraphFuzzer, fuzz_graphs
 from repro.verify.oracles import (
     ORACLE_ALLOCATOR_SAFETY,
@@ -43,6 +48,7 @@ __all__ = [
     "FuzzReport",
     "GraphFuzzer",
     "ORACLE_ALLOCATOR_SAFETY",
+    "ORACLE_BACKEND_DIFFERENTIAL",
     "ORACLE_DECISION_BYTES",
     "ORACLE_HYBRID",
     "ORACLE_PLAN_SAFETY",
@@ -50,6 +56,7 @@ __all__ = [
     "ORACLE_ROUNDTRIP",
     "Violation",
     "check_allocator_safety",
+    "check_backend_agreement",
     "check_decision_bytes",
     "check_hybrid_plan",
     "check_measured_bytes",
@@ -63,6 +70,7 @@ __all__ = [
     "minimize",
     "run_fuzz",
     "run_fuzz_unit",
+    "verify_backends",
     "verify_encodings",
     "verify_graph",
     "verify_seed",

@@ -20,6 +20,10 @@ encoding-roundtrip     lossless codecs bit-exact, lossy codecs within
                        declared bounds, on adversarial inputs
 hybrid-plan            hybrid planner budget/dominance/chain/liveness
                        safety; hybrid footprint <= every pure arm
+backend-differential   every kernel-registry arm agrees with its op's
+                       ground-truth arm on shared inputs: exact arms
+                       bit-for-bit, tolerance arms within their
+                       registered bound (integer outputs always exact)
 =====================  ==============================================
 
 Violations carry the seed, so ``repro fuzz --seeds 1 --start-seed S``
@@ -52,6 +56,7 @@ from repro.memory.allocator import (
 )
 from repro.memory.dynamic import simulate_dynamic
 from repro.memory.planner import build_memory_plan
+from repro.verify.differential import verify_backends
 from repro.verify.fuzzer import DEFAULT_MAX_OPS, GraphFuzzer
 from repro.verify.oracles import (
     Violation,
@@ -232,9 +237,12 @@ def verify_graph(
 def verify_seed(
     seed: int, max_ops: int = DEFAULT_MAX_OPS, strict: bool = False
 ) -> List[Violation]:
-    """Full oracle battery for one seed: fuzzed graph + codec round-trips."""
+    """Full oracle battery for one seed: fuzzed graph, codec round-trips
+    and kernel-backend agreement on shared randomized inputs."""
     graph = GraphFuzzer(seed).graph(max_ops=max_ops)
-    return verify_graph(graph, seed, strict=strict) + verify_encodings(seed)
+    return (verify_graph(graph, seed, strict=strict)
+            + verify_encodings(seed)
+            + verify_backends(seed))
 
 
 def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,

@@ -1,0 +1,156 @@
+"""Fault-injection tests for the backend-agreement differential oracle.
+
+The oracle's job is to catch a *wrong* backend, so every test here
+registers a deliberately broken arm, asserts the oracle fires on exactly
+that arm, and unregisters it again.  A passing clean registry is the
+baseline case.
+"""
+
+import numpy as np
+
+from repro.kernels.backends import (
+    ConvBackend,
+    FnBackend,
+    PoolBackend,
+    default_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.verify import (
+    ORACLE_BACKEND_DIFFERENTIAL,
+    verify_backends,
+)
+
+
+def _oracle_subjects(violations):
+    return {v.subject for v in violations}
+
+
+def test_clean_registry_has_no_violations():
+    for seed in (0, 1, 7):
+        assert verify_backends(seed) == []
+
+
+def test_wrong_exact_arm_is_caught():
+    base = default_backend("pack_bits")
+
+    def evil(flat):
+        out = np.array(base.fn(flat))
+        if out.size:
+            out[0] ^= np.uint8(1)  # flip one stored bit
+        return out
+
+    register_backend(FnBackend("pack_bits", "evil-exact", evil,
+                               description="fault injection"))
+    try:
+        violations = verify_backends(11)
+    finally:
+        unregister_backend("pack_bits", "evil-exact")
+    assert violations, "oracle missed a bit-flipping exact arm"
+    assert _oracle_subjects(violations) == {"pack_bits:evil-exact"}
+    assert all(v.oracle == ORACLE_BACKEND_DIFFERENTIAL for v in violations)
+    # The injected arm must not poison later clean runs.
+    assert verify_backends(11) == []
+
+
+class _DriftingConv(ConvBackend):
+    """Delegates to the default conv arm, then drifts y far past its
+    declared tolerance."""
+
+    name = "evil-tolerance"
+    exact = False
+    tolerance = 1e-7
+
+    def forward(self, x, w4, bias, stride, pad, arena=None,
+                want_saved=False):
+        y, saved = default_backend("conv2d").forward(
+            x, w4, bias, stride, pad, arena=arena, want_saved=want_saved
+        )
+        return y + np.float32(0.5), saved
+
+    def backward(self, x, w4, dy, stride, pad, arena=None, saved=None):
+        return default_backend("conv2d").backward(
+            x, w4, dy, stride, pad, arena=arena, saved=saved
+        )
+
+
+def test_tolerance_violation_is_caught():
+    register_backend(_DriftingConv())
+    try:
+        violations = verify_backends(5)
+    finally:
+        unregister_backend("conv2d", "evil-tolerance")
+    assert violations
+    assert _oracle_subjects(violations) == {"conv2d:evil-tolerance"}
+    assert any("tolerance" in v.detail for v in violations)
+
+
+class _ScrambledArgmaxPool(PoolBackend):
+    """Huge float tolerance, but scrambled integer argmax output — the
+    oracle must still demand exactness on non-float outputs."""
+
+    name = "evil-argmax"
+    exact = False
+    tolerance = 1e9
+
+    def forward(self, x, kh, kw, stride, pad, arena=None):
+        y, argmax = default_backend("maxpool2d").forward(
+            x, kh, kw, stride, pad, arena=arena
+        )
+        return y, (argmax + np.uint8(1)) % np.uint8(kh * kw)
+
+    def backward(self, argmax, dy, x_shape, kh, kw, stride, pad,
+                 arena=None):
+        return default_backend("maxpool2d").backward(
+            argmax, dy, x_shape, kh, kw, stride, pad, arena=arena
+        )
+
+
+def test_integer_outputs_must_be_exact_even_under_tolerance():
+    register_backend(_ScrambledArgmaxPool())
+    try:
+        violations = verify_backends(2)
+    finally:
+        unregister_backend("maxpool2d", "evil-argmax")
+    assert violations
+    assert _oracle_subjects(violations) == {"maxpool2d:evil-argmax"}
+    assert any("argmax" in v.detail for v in violations)
+
+
+def test_crashing_arm_is_a_finding_not_an_abort():
+    def crash(flat, cols):
+        raise RuntimeError("injected crash")
+
+    register_backend(FnBackend("csr_build", "evil-crash", crash,
+                               description="fault injection"))
+    try:
+        violations = verify_backends(3)
+    finally:
+        unregister_backend("csr_build", "evil-crash")
+    assert violations
+    assert _oracle_subjects(violations) == {"csr_build:evil-crash"}
+    assert all("crashed" in v.detail for v in violations)
+
+
+def test_violations_carry_the_seed_for_replay():
+    register_backend(FnBackend("pack_nibbles", "evil-seeded",
+                               lambda flat: default_backend(
+                                   "pack_nibbles").fn(flat) | np.uint8(1),
+                               description="fault injection"))
+    try:
+        violations = verify_backends(42)
+    finally:
+        unregister_backend("pack_nibbles", "evil-seeded")
+    assert violations
+    assert all(v.seed == 42 for v in violations)
+
+
+def test_oracle_is_seed_deterministic():
+    register_backend(_DriftingConv())
+    try:
+        first = verify_backends(9)
+        second = verify_backends(9)
+    finally:
+        unregister_backend("conv2d", "evil-tolerance")
+    assert [str(v) for v in first] == [str(v) for v in second]
+    assert first
