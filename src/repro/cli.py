@@ -173,6 +173,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         tracer=tracer,
         check_invariants=args.check_invariants,
+        rewrite=args.rewrite,
     )
     print(tracer.summary())
     if args.check_invariants:
@@ -204,6 +205,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         journal=args.journal,
         timeout_s=args.timeout,
+        rewrite_shapes=args.rewrite_shapes,
     )
     print(f"seeds run:       {report.seeds_run}")
     print(f"graphs verified: {report.graphs_verified}")
@@ -223,6 +225,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         replay = f"repro fuzz --seeds 1 --start-seed {seed}"
         if args.strict:
             replay += " --strict"
+        if args.rewrite_shapes:
+            replay += " --rewrite-shapes"
         print(f"\nminimized repro ({len(report.minimized.nodes)} nodes, "
               f"replay with: {replay}):")
         print(report.minimized.summary())
@@ -234,6 +238,13 @@ def cmd_plan(args: argparse.Namespace) -> int:
     from repro.memory.hybrid import build_hybrid_plan
 
     graph = build_model(args.model, batch_size=args.batch_size)
+    if args.rewrite:
+        from repro.rewrite import apply_passes
+
+        result = apply_passes(graph)
+        graph = result.graph
+        print(result.report())
+        print()
     gist = (GistConfig.lossless() if args.config == "lossless"
             else GistConfig.for_network(args.model) if args.config == "network"
             else GistConfig.full(args.config))
@@ -427,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write this run's digest as a golden trace")
     p.add_argument("--compare-golden", metavar="PATH",
                    help="compare against a saved golden; exit 1 on mismatch")
+    p.add_argument("--rewrite", action="store_true",
+                   help="apply the graph-rewrite passes before tracing "
+                        "(byte-identical digest on the golden models)")
     p.set_defaults(func=cmd_trace)
 
     from repro.verify.fuzzer import DEFAULT_MAX_OPS
@@ -446,6 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="also enforce the heuristic greedy-size <= first-fit "
                         "ordering (known to fail on some fan-out graphs)")
+    p.add_argument("--rewrite-shapes", action="store_true",
+                   help="bias generation towards rewrite-pass trigger "
+                        "motifs and verify each rewritten graph too")
     _add_orchestration_arguments(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -464,6 +481,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lossless", "network", "fp16", "fp10", "fp8"],
                    help="gist switches for the encode lever (default: "
                         "lossless, so every decision is bit-exact)")
+    rewrite = p.add_mutually_exclusive_group()
+    rewrite.add_argument("--rewrite", action="store_true", default=False,
+                         help="run the graph-rewrite passes (fusion, "
+                              "pool-argmax, CSE, dead-stash, inplace) "
+                              "before planning and print the per-pass "
+                              "report")
+    rewrite.add_argument("--no-rewrite", dest="rewrite",
+                         action="store_false",
+                         help="plan the graph exactly as built (default)")
     p.set_defaults(func=cmd_plan)
 
     from repro.experiments import DEFAULT_SWEEP_DRIVERS, SWEEP_DRIVERS

@@ -306,6 +306,11 @@ def build_gist_plan(
             if not schedule.has_backward(node.node_id):
                 continue
             rewritten_pools.append(node.node_id)
+            if getattr(node.layer, "argmax_map_static", False):
+                # The layer already declares the map in saved_state_specs
+                # (pool-argmax graph rewrite); adding it again would
+                # double-count and collide on the tensor name.
+                continue
             map_spec = node.layer.argmax_map_spec(node.output_shape)
             new_tensors.append(
                 LiveTensor(

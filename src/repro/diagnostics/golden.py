@@ -109,6 +109,7 @@ def run_traced(
     seed: int = 0,
     tracer: Optional[StepTracer] = None,
     check_invariants: bool = False,
+    rewrite: bool = False,
 ) -> TraceDigest:
     """Run the pinned recipe for ``model``/``policy``; return its digest.
 
@@ -119,9 +120,18 @@ def run_traced(
         seed: Master seed for parameters and the batch stream.
         tracer: Optional :class:`StepTracer` to observe the run with.
         check_invariants: Enable the full runtime invariant suite.
+        rewrite: Apply the default graph-rewrite passes before tracing.
+            On the golden models (no dead branches, so no parameterised
+            node is removed) the digest's losses and gradients stay
+            byte-identical to the unrewritten run — the property the
+            rewrite-equivalence oracle pins.
     """
     spec = GOLDEN_MODELS[model]
     graph = build_model(model, **spec)
+    if rewrite:
+        from repro.rewrite import apply_passes
+
+        graph = apply_passes(graph).graph
     executor = GraphExecutor(graph, build_trace_policy(policy, graph),
                              seed=seed, tracer=tracer)
     if check_invariants:

@@ -26,7 +26,12 @@ def inplace_eligible_edges(graph: Graph) -> List[Tuple[int, int]]:
     * the consumer's backward pass does not read its input;
     * the producer is a real op (not the graph input — the minibatch buffer
       is owned by the data loader);
-    * producer and consumer outputs occupy the same number of elements.
+    * producer and consumer outputs occupy the same number of elements;
+    * the producer's buffer is genuinely its own: view-producing layers
+      (``aliases_input``, e.g. flatten's reshape) hand out their upstream
+      producer's buffer, so the same no-later-reader conditions must hold
+      transitively along the whole alias chain — otherwise overwriting the
+      view would clobber a stashed upstream feature map.
     """
     edges: List[Tuple[int, int]] = []
     for node in graph.nodes:
@@ -50,5 +55,32 @@ def inplace_eligible_edges(graph: Graph) -> List[Tuple[int, int]]:
             cons_elems *= d
         if prod_elems != cons_elems:
             continue
+        if not _buffer_dead_after_use(graph, node):
+            continue
         edges.append((node.node_id, consumer.node_id))
     return edges
+
+
+def _buffer_dead_after_use(graph: Graph, producer) -> bool:
+    """Whether ``producer``'s output buffer has no reader after its use.
+
+    Walks the alias chain upward: while the current node's layer only
+    *views* its input (``aliases_input``), the buffer actually belongs to
+    the node's own producer, which must therefore satisfy the same safety
+    conditions — sole consumer, backward never reads the buffer (neither
+    as the parent's output nor as the view op's input), and not the graph
+    input.  The walk ends at the first node that owns a real buffer.
+    """
+    current = graph.node(producer.node_id)
+    while getattr(current.layer, "aliases_input", False):
+        if current.layer.backward_needs_input:
+            return False
+        parent = graph.node(current.inputs[0])
+        if parent.node_id == graph.input_id:
+            return False
+        if len(graph.consumers(parent.node_id)) != 1:
+            return False
+        if parent.layer.backward_needs_output:
+            return False
+        current = parent
+    return True

@@ -19,6 +19,9 @@ class OpNode:
         layer: The operator (shared :class:`~repro.layers.base.Layer`).
         inputs: ``node_id`` of each input edge, in argument order.
         output_shape: Inferred output shape (filled by the builder).
+        inplace: Set by the inplace rewrite pass: the executor computes
+            this node's output in its (sole) input's buffer via
+            :meth:`~repro.layers.base.Layer.forward_inplace`.
     """
 
     node_id: int
@@ -26,6 +29,7 @@ class OpNode:
     layer: Layer
     inputs: List[int] = field(default_factory=list)
     output_shape: Shape = ()
+    inplace: bool = False
 
     @property
     def kind(self) -> str:

@@ -30,6 +30,9 @@ class ReLU(Layer):
     backward_needs_input = False
     backward_needs_output = True
     supports_inplace = True
+    #: The output is a rectified map — the attribute the stash classifier
+    #: keys on (so fused conv+relu nodes classify identically).
+    relu_output = True
 
     def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
         (shape,) = input_shapes
@@ -37,6 +40,18 @@ class ReLU(Layer):
 
     def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
         return int(np.prod(output_shape))
+
+    def forward_inplace(
+        self,
+        x: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        # Bit-identical to forward(): np.maximum writes the same values
+        # whether the destination aliases the input or not.
+        np.maximum(x, 0.0, out=x)
+        return x
 
     def forward(
         self,

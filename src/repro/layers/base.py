@@ -127,6 +127,22 @@ class Layer(abc.ABC):
     #: output in the input's buffer (the paper's inplace optimisation).
     supports_inplace: bool = False
 
+    def forward_inplace(
+        self,
+        x: "np.ndarray",
+        params: Dict[str, "np.ndarray"],
+        ctx: Optional["OpContext"],
+        train: bool = True,
+    ) -> "np.ndarray":
+        """Forward pass writing the output into ``x``'s own buffer.
+
+        Called by the executor for nodes the inplace rewrite pass marked
+        (see :mod:`repro.rewrite.inplace`); only layers with
+        ``supports_inplace`` override it.  The default falls back to the
+        ordinary out-of-place :meth:`forward`, which is always safe.
+        """
+        return self.forward([x], params, ctx, train)
+
     # ------------------------------------------------------------------
     # Runtime kernels
     # ------------------------------------------------------------------

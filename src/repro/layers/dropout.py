@@ -28,6 +28,9 @@ class Dropout(Layer):
         self.p = p
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+        # With p == 0 forward returns its input array unchanged, so the
+        # output aliases the producer's buffer exactly like a view.
+        self.aliases_input = p == 0.0
 
     def reset_rng(self, seed: Optional[int] = None) -> None:
         """Restart the mask stream (reproducible A/B runs on one graph)."""
@@ -60,6 +63,26 @@ class Dropout(Layer):
         if ctx is not None:
             ctx.save_state("mask", mask)
         return x * mask
+
+    def forward_inplace(
+        self,
+        x: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        if not train or self.p == 0.0:
+            if ctx is not None:
+                ctx.save_state("mask", np.ones((1,), dtype=np.float32))
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        if ctx is not None:
+            ctx.save_state("mask", mask)
+        # Same mask draw, same multiply — only the destination buffer
+        # differs, so the result is bit-identical to forward().
+        x *= mask
+        return x
 
     def backward(
         self,

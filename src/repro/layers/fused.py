@@ -1,0 +1,111 @@
+"""Fused Conv+ReLU operator produced by the rewrite layer.
+
+The fusion removes the convolution's separately-materialised output map:
+the activation is applied in the convolution's own output buffer, and the
+backward pass needs only the stashed *input* ``X`` (for the weight
+gradient) plus a 1-bit positivity mask saved in the forward pass — never
+the post-activation output ``Y``.  That flips the paper's dependence table
+for the pair: where an unfused ReLU forces its output to be stashed
+(``backward_needs_output``), the fused op lets the map die at its last
+forward use whenever no consumer reads it back.
+
+Bit-identity: the forward pass delegates to the wrapped
+:class:`~repro.layers.conv.Conv2D` kernel (same backend dispatch, same
+saved-columns fast path) and applies ``max(x, 0)`` exactly as
+:class:`~repro.layers.activation.ReLU` would; the backward pass masks the
+upstream gradient with the saved positivity bits (a 0/1 multiply, exact in
+IEEE arithmetic) and feeds it to the identical convolution backward.  The
+rewrite-equivalence oracle pins this: a fused graph trains byte-identically
+to the unfused one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import BIT1
+from repro.layers.base import Layer, OpContext, Shape, StateSpec
+from repro.layers.conv import Conv2D
+
+
+class FusedConvReLU(Layer):
+    """``relu(conv(x))`` as one graph node.
+
+    Args:
+        conv: The convolution being fused.  The instance is wrapped, not
+            copied, so parameter shapes/initialisation and the autotuned
+            kernel dispatch are exactly the original convolution's.
+    """
+
+    kind = "conv_relu"
+    backward_needs_input = True   # conv's dW needs X
+    backward_needs_output = False  # the mask replaces Y
+    #: The output is a ReLU image: sparse, and its backward users can run
+    #: from the positivity mask (Gist's Binarize/SSDC classification).
+    relu_output = True
+
+    def __init__(self, conv: Conv2D):
+        self.conv = conv
+
+    # ------------------------------------------------------------------
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        return self.conv.infer_shape(input_shapes)
+
+    def param_shapes(self, input_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        return self.conv.param_shapes(input_shapes)
+
+    def flops(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        relu_flops = 1
+        for d in output_shape:
+            relu_flops *= d
+        return self.conv.flops(input_shapes, output_shape) + relu_flops
+
+    def workspace_bytes(
+        self, input_shapes: Sequence[Shape], output_shape: Shape
+    ) -> int:
+        return self.conv.workspace_bytes(input_shapes, output_shape)
+
+    def saved_state_specs(
+        self, input_shapes: Sequence[Shape], output_shape: Shape
+    ) -> List[StateSpec]:
+        return [StateSpec("mask", tuple(output_shape), BIT1)]
+
+    def init_params(self, input_shapes, rng):
+        return self.conv.init_params(input_shapes, rng)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        xs: Sequence[np.ndarray],
+        params: Dict[str, np.ndarray],
+        ctx: Optional[OpContext],
+        train: bool = True,
+    ) -> np.ndarray:
+        y = self.conv.forward(xs, params, ctx, train)
+        if ctx is not None:
+            ctx.save_state("mask", y > 0)
+        # The conv output buffer is ours alone, so the activation runs in
+        # place — the paper's inplace optimisation, free under fusion.
+        # Non-contiguous conv outputs (transposed einsum views) get a fresh
+        # array instead, exactly as the unfused ReLU would produce: keeping
+        # the strided layout would reorder downstream pairwise reductions
+        # and break bit-identity with the unfused graph.
+        if y.flags["C_CONTIGUOUS"]:
+            np.maximum(y, 0.0, out=y)
+        else:
+            y = np.maximum(y, 0.0)
+        return y
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        params: Dict[str, np.ndarray],
+        ctx: OpContext,
+    ) -> Tuple[List[np.ndarray], Dict[str, np.ndarray]]:
+        mask = ctx.get_state("mask")
+        # 0/1 mask multiply: bit-identical to ReLU.backward on the unfused
+        # pair (dz here == the dy the unfused conv would have received).
+        dz = dy * mask
+        return self.conv.backward(dz, params, ctx)

@@ -14,6 +14,10 @@ class Flatten(Layer):
 
     kind = "flatten"
     supports_inplace = True
+    #: forward returns a reshaped *view*: the output shares the input's
+    #: buffer, so an inplace consumer overwriting it would also overwrite
+    #: the upstream producer's output (see ``inplace_eligible_edges``).
+    aliases_input = True
 
     def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
         (shape,) = input_shapes

@@ -1,0 +1,180 @@
+"""Rewrite-equivalence oracle: rewritten graphs must train identically.
+
+The property fuzzed over the whole pass pipeline: take a graph, apply the
+rewrite passes, then train the original and the rewritten graph side by
+side from identical initial parameters on identical batches — every
+per-step loss and every surviving parameter gradient must match
+bit-for-bit under each lossless stash policy.  (Parameters belonging to
+dead-code the rewriter removed legitimately disappear; anything else
+differing is a rewriter bug.)
+
+The oracle is deliberately end-to-end: it exercises the fused kernels, the
+argmax-map pool flags, the inplace executor path, the stash classifier on
+rewritten graphs and the Gist encodings all at once, so any pass that
+bends a float fails loudly with the policy/step/tensor that diverged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policy import GistConfig
+from repro.graph.graph import Graph
+from repro.rewrite.base import RewriteResult
+from repro.rewrite.manager import PassLike, apply_passes
+from repro.train.executor import GraphExecutor
+from repro.train.stash import BaselinePolicy, GistPolicy, StashPolicy
+from repro.verify.oracles import ORACLE_REWRITE, Violation
+
+#: Policies under which equivalence must be bit-exact.  Lossy policies
+#: (DPR) are excluded: their rounding is value-dependent, so reordering
+#: *allocations* is fine but the oracle's bit-for-bit bar does not apply.
+LOSSLESS_POLICIES = ("baseline", "gist-lossless")
+
+
+def _make_policy(name: str, graph: Graph) -> StashPolicy:
+    if name == "baseline":
+        return BaselinePolicy()
+    if name == "gist-lossless":
+        return GistPolicy(graph, GistConfig.lossless())
+    raise ValueError(f"unknown equivalence policy {name!r}")
+
+
+def _reset_layer_rngs(graph: Graph) -> None:
+    # Layers (and so their RNG streams, e.g. dropout masks) are shared
+    # between the original and rewritten graph; resetting before each run
+    # gives both runs the same draws.  Each layer owns its own generator,
+    # so removed dead-code layers do not shift the survivors' streams.
+    for node in graph.nodes:
+        reset = getattr(node.layer, "reset_rng", None)
+        if reset is not None:
+            reset()
+
+
+def make_batches(
+    graph: Graph, seed: int, steps: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Deterministic per-step (images, labels) batches for ``graph``."""
+    input_shape = graph.node(graph.input_id).output_shape
+    logits_shape = graph.node(
+        graph.node(graph.output_id).inputs[0]
+    ).output_shape
+    classes = int(logits_shape[-1])
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xE0_1D]))
+    batches = []
+    for _ in range(steps):
+        images = rng.standard_normal(input_shape).astype(np.float32)
+        labels = rng.integers(0, classes, size=input_shape[0]).astype(np.int64)
+        batches.append((images, labels))
+    return batches
+
+
+def _train(
+    graph: Graph,
+    policy_name: str,
+    batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+    initial_params: Optional[Dict[str, np.ndarray]] = None,
+    lr: float = 0.05,
+) -> Tuple[List[float], List[Dict[str, np.ndarray]], Dict[str, np.ndarray]]:
+    """Run SGD steps; returns (losses, per-step grads, initial params).
+
+    When ``initial_params`` is given, matching parameters are copied in
+    before the first step (the caller checks name-set compatibility).
+    """
+    _reset_layer_rngs(graph)
+    ex = GraphExecutor(graph, _make_policy(policy_name, graph), seed=0)
+    params = ex.parameters()
+    if initial_params is not None:
+        for key, value in params.items():
+            if key in initial_params:
+                value[...] = initial_params[key]
+    start = {k: v.copy() for k, v in params.items()}
+    losses: List[float] = []
+    grad_steps: List[Dict[str, np.ndarray]] = []
+    for images, labels in batches:
+        loss = ex.forward(images, labels)
+        grads = ex.backward()
+        losses.append(loss)
+        grad_steps.append({k: g.copy() for k, g in grads.items()})
+        for key, g in grads.items():
+            params[key] -= lr * g
+    return losses, grad_steps, start
+
+
+def check_rewrite_equivalence(
+    graph: Graph,
+    seed: int = 0,
+    passes: Optional[Iterable[PassLike]] = None,
+    steps: int = 2,
+    policies: Sequence[str] = LOSSLESS_POLICIES,
+    rewrite_result: Optional[RewriteResult] = None,
+) -> List[Violation]:
+    """Fuzzable oracle: the rewritten graph trains bit-identically.
+
+    Applies the passes (or uses ``rewrite_result`` if the caller already
+    ran them), then compares ``steps`` SGD steps between the original and
+    rewritten graph under each policy.  Returns an empty list when the
+    rewrite is a no-op or equivalence holds; otherwise one
+    :class:`Violation` per divergence, carrying the policy, step and
+    tensor that differed.
+    """
+    result = (
+        rewrite_result
+        if rewrite_result is not None
+        else apply_passes(graph, passes)
+    )
+    if not result.changed:
+        return []
+    rewritten = result.graph
+
+    removed = {n.name for n in graph.nodes} - {
+        n.name for n in rewritten.nodes
+    }
+    violations: List[Violation] = []
+
+    def bad(detail: str) -> None:
+        violations.append(
+            Violation(ORACLE_REWRITE, detail, seed=seed, subject=graph.name)
+        )
+
+    batches = make_batches(graph, seed, steps)
+    for policy_name in policies:
+        losses_a, grads_a, init_a = _train(graph, policy_name, batches)
+        losses_b, grads_b, _ = _train(
+            rewritten, policy_name, batches, initial_params=init_a
+        )
+        # Parameter-name accounting: rewritten-only names are impossible
+        # (passes never invent parameters); original-only names must come
+        # from removed dead nodes.
+        a_names, b_names = set(init_a), {
+            k for step in grads_b for k in step
+        }
+        for step_grads in grads_a:
+            a_grad_names = set(step_grads)
+            break
+        else:
+            a_grad_names = set()
+        for key in sorted(b_names - a_names):
+            bad(f"policy {policy_name}: rewritten graph grew parameter "
+                f"{key!r} absent from the original")
+        for key in sorted(a_grad_names - set(grads_b[0] if grads_b else {})):
+            node_name = key.rsplit(".", 1)[0]
+            if node_name not in removed:
+                bad(f"policy {policy_name}: gradient for {key!r} vanished "
+                    f"but node {node_name!r} was not removed by any pass")
+        for step, (la, lb) in enumerate(zip(losses_a, losses_b)):
+            if not (la == lb or (np.isnan(la) and np.isnan(lb))):
+                bad(f"policy {policy_name} step {step}: loss diverged "
+                    f"({la!r} original vs {lb!r} rewritten)")
+        for step, (ga, gb) in enumerate(zip(grads_a, grads_b)):
+            for key in sorted(set(ga) & set(gb)):
+                if not np.array_equal(ga[key], gb[key], equal_nan=True):
+                    bad(f"policy {policy_name} step {step}: gradient "
+                        f"{key!r} not bit-identical after rewrite")
+        if violations:
+            # One policy's divergence details are enough to debug; later
+            # policies would usually repeat the same root cause.
+            break
+    return violations

@@ -30,7 +30,7 @@ from repro.layers.loss import SoftmaxCrossEntropy
 from repro.train.stash import BaselinePolicy, StashPolicy
 
 #: Node kinds whose outputs are sparsity-tracked each forward pass.
-_SPARSITY_KINDS = {"relu", "maxpool"}
+_SPARSITY_KINDS = {"relu", "maxpool", "conv_relu"}
 
 
 class _Context(OpContext):
@@ -262,12 +262,30 @@ class GraphExecutor:
             xs = [values[i] for i in node.inputs]
             if checks is not None:
                 checks.on_forward(node)
+            # Marked by the inplace rewrite pass: the sole consumer of an
+            # unstashed map computes into the producer's buffer.  Only a
+            # C-contiguous buffer qualifies at runtime: the out-of-place op
+            # would return a fresh contiguous array, and numpy's pairwise
+            # reductions (e.g. batch-norm statistics downstream) sum in a
+            # layout-dependent order, so writing into a strided view (conv
+            # kernels may return transposed einsum views) would break
+            # bit-identity with the unrewritten graph.
+            run_inplace = node.inplace and xs[0].flags["C_CONTIGUOUS"]
             if tracer is not None:
                 t0 = perf_counter()
-                y = node.layer.forward(xs, self.params[node.node_id], ctx,
-                                       train)
+                if run_inplace:
+                    y = node.layer.forward_inplace(
+                        xs[0], self.params[node.node_id], ctx, train
+                    )
+                else:
+                    y = node.layer.forward(xs, self.params[node.node_id],
+                                           ctx, train)
                 tracer.record_node(node.name, "forward",
                                    perf_counter() - t0)
+            elif run_inplace:
+                y = node.layer.forward_inplace(
+                    xs[0], self.params[node.node_id], ctx, train
+                )
             else:
                 y = node.layer.forward(xs, self.params[node.node_id], ctx,
                                        train)

@@ -57,12 +57,20 @@ class GraphFuzzer:
         self.seed = int(seed)
 
     # ------------------------------------------------------------------
-    def graph(self, max_ops: int = DEFAULT_MAX_OPS) -> Graph:
+    def graph(
+        self, max_ops: int = DEFAULT_MAX_OPS, rewrite_shapes: bool = False
+    ) -> Graph:
         """Generate one graph with at most ``max_ops`` ops before the head.
 
         Shrinking ``max_ops`` with the seed fixed yields a *prefix* of the
         same random decision stream, which is what lets the minimizer
         shrink a failing graph without changing the layers it kept.
+
+        ``rewrite_shapes`` mixes in motifs the rewrite passes trigger on
+        (conv→relu chains, duplicated subexpressions, dead branches,
+        immediately-consumed maps).  The flag draws from the RNG only
+        inside its own branch, so the default decision stream — and every
+        pinned default-mode seed — is byte-identical with it off.
         """
         rng = np.random.default_rng(self.seed)
         batch = int(rng.choice([1, 2, 4, 8]))
@@ -74,6 +82,15 @@ class GraphFuzzer:
         x = b.input
         budget = max(1, int(max_ops))
         while budget > 0:
+            if (
+                rewrite_shapes
+                and budget >= 4
+                and len(b.shape_of(x)) == 4
+                and rng.random() < 0.5
+            ):
+                x, used = self._rewrite_motif(b, x, rng)
+                budget -= used
+                continue
             roll = rng.random()
             if roll < 0.22 and budget >= 4 and len(b.shape_of(x)) == 4:
                 x, used = self._merge_block(b, x, rng, budget)
@@ -170,6 +187,53 @@ class GraphFuzzer:
         if roll < 0.85:
             return b.add(Sigmoid() if rng.random() < 0.5 else Tanh(), x)
         return b.add(Dropout(p=0.2, seed=int(rng.integers(0, 1 << 16))), x)
+
+    def _rewrite_motif(self, b: GraphBuilder, x: NodeRef, rng) -> tuple:
+        """One motif a rewrite pass fires on; returns (ref, ops used).
+
+        The four motifs map one-to-one onto the passes: conv→relu chains
+        (fusion + inplace), duplicated single-consumer subexpressions
+        (CSE), dangling branches (dead-stash elimination) and
+        immediately-consumed maps (inplace), with max-pools sprinkled in
+        for the pool-argmax pass.
+        """
+        motif = int(rng.integers(0, 4))
+        side = self._spatial(b, x)
+        if motif == 0:
+            # conv -> relu (fusion), optionally capped by a pool so the
+            # pool-argmax pass and the relu-pool classifier both fire.
+            out_c = int(rng.integers(1, 9))
+            k = int(rng.choice([1, 3]))
+            x = b.add(Conv2D(out_c, k, pad=k // 2), x)
+            x = b.add(ReLU(), x)
+            if side >= _MIN_SPATIAL_FOR_POOL and rng.random() < 0.5:
+                return b.add(MaxPool2D(2, 2), x), 3
+            return x, 2
+        if motif == 1:
+            # Duplicated subexpression: two identical single-consumer ops
+            # over the same input, joined by one Add — exactly the shape
+            # the CSE pass's two-term-sum restrictions admit.
+            dup = rng.random() < 0.5
+            if dup and side >= _MIN_SPATIAL_FOR_POOL:
+                y1 = b.add(MaxPool2D(2, 2), x)
+                y2 = b.add(MaxPool2D(2, 2), x)
+            else:
+                y1 = b.add(ReLU(), x)
+                y2 = b.add(ReLU(), x)
+            return b.add(Add(), [y1, y2]), 3
+        if motif == 2:
+            # Dead branch: ops whose outputs never reach the loss, but
+            # which the schedule still prices as stashed feature maps.
+            dead = b.add(Conv2D(int(rng.integers(1, 5)), 1), x)
+            b.add(ReLU(), dead)
+            return x, 2
+        # Immediately-consumed map: conv -> dropout is inplace-eligible
+        # (conv's backward never reads its output, dropout's never reads
+        # its input) without being a fusion candidate.
+        out_c = int(rng.integers(1, 9))
+        x = b.add(Conv2D(out_c, 1), x)
+        x = b.add(Dropout(p=0.3, seed=int(rng.integers(0, 1 << 16))), x)
+        return x, 2
 
     def _head(self, b: GraphBuilder, x: NodeRef, rng, classes: int) -> NodeRef:
         """Classifier head: optional ReLU, Dense(classes), softmax loss."""

@@ -51,6 +51,7 @@ ORACLE_PLAN_SAFETY = "plan-safety"
 ORACLE_DECISION_BYTES = "decision-bytes"
 ORACLE_ROUNDTRIP = "encoding-roundtrip"
 ORACLE_HYBRID = "hybrid-plan"
+ORACLE_REWRITE = "rewrite-equivalence"
 
 
 @dataclass(frozen=True)
@@ -337,6 +338,18 @@ def check_plan_safety(
             t.size_bytes for t in gist_plan.plan.tensors
             if t.role in (ROLE_ENCODED, ROLE_DECODED)
         )
+        # Inplace pair merging *removes* the producer's buffer and extends
+        # the consumer's lifetime across both ops — the mirror image of an
+        # added tensor, with the same bounded grouping perturbation: up to
+        # the merged buffer's size.
+        if gist_plan.config.inplace:
+            for node in graph.nodes:
+                if node.node_id not in merged_away:
+                    continue
+                elements = 1
+                for d in node.output_shape:
+                    elements *= d
+                added += 4 * elements
         if gist_allocated > baseline_allocated + added:
             violations.append(Violation(
                 ORACLE_PLAN_SAFETY,

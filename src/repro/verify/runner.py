@@ -20,6 +20,10 @@ encoding-roundtrip     lossless codecs bit-exact, lossy codecs within
                        declared bounds, on adversarial inputs
 hybrid-plan            hybrid planner budget/dominance/chain/liveness
                        safety; hybrid footprint <= every pure arm
+rewrite-equivalence    the rewrite passes (fusion / pool-argmax / CSE /
+                       dead-stash / inplace) leave per-step losses and
+                       every surviving gradient bit-identical under the
+                       lossless policies
 backend-differential   every kernel-registry arm agrees with its op's
                        ground-truth arm on shared inputs: exact arms
                        bit-for-bit, tolerance arms within their
@@ -230,23 +234,45 @@ def verify_graph(
         Violation(v.oracle, v.detail, seed, "hybrid")
         for v in check_allocator_safety(hybrid_result, hybrid.plan.tensors)
     ]
+
+    # (f) rewrite equivalence: the rewrite passes applied to this graph
+    # must train bit-identically under every lossless policy (no-op when
+    # nothing rewrites).
+    from repro.rewrite import check_rewrite_equivalence
+
+    violations += check_rewrite_equivalence(graph, seed=seed or 0)
     return [Violation(v.oracle, v.detail, seed, v.subject)
             for v in violations]
 
 
 def verify_seed(
-    seed: int, max_ops: int = DEFAULT_MAX_OPS, strict: bool = False
+    seed: int, max_ops: int = DEFAULT_MAX_OPS, strict: bool = False,
+    rewrite_shapes: bool = False,
 ) -> List[Violation]:
     """Full oracle battery for one seed: fuzzed graph, codec round-trips
-    and kernel-backend agreement on shared randomized inputs."""
-    graph = GraphFuzzer(seed).graph(max_ops=max_ops)
-    return (verify_graph(graph, seed, strict=strict)
+    and kernel-backend agreement on shared randomized inputs.
+
+    ``rewrite_shapes`` generates graphs biased toward rewrite-pass
+    triggers and additionally runs the whole plan/allocator battery on
+    the *rewritten* graph (rewriting must not manufacture an unsafe
+    plan), on top of the rewrite-equivalence oracle every graph gets.
+    """
+    graph = GraphFuzzer(seed).graph(max_ops=max_ops,
+                                    rewrite_shapes=rewrite_shapes)
+    violations = verify_graph(graph, seed, strict=strict)
+    if rewrite_shapes:
+        from repro.rewrite import apply_passes
+
+        result = apply_passes(graph)
+        if result.changed:
+            violations += verify_graph(result.graph, seed, strict=strict)
+    return (violations
             + verify_encodings(seed)
             + verify_backends(seed))
 
 
 def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
-             strict: bool = False):
+             strict: bool = False, rewrite_shapes: bool = False):
     """Smallest reproduction of a failing seed.
 
     Replays the same seed at growing ``max_ops`` (the fuzzer's decision
@@ -256,18 +282,22 @@ def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
     fired.
     """
     for k in range(1, max_ops + 1):
-        graph = GraphFuzzer(seed).graph(max_ops=k)
+        graph = GraphFuzzer(seed).graph(max_ops=k,
+                                        rewrite_shapes=rewrite_shapes)
         violations = verify_graph(graph, seed, strict=strict)
         if violations:
             return graph, violations
-    graph = GraphFuzzer(seed).graph(max_ops=max_ops)
-    return graph, verify_seed(seed, max_ops, strict=strict)
+    graph = GraphFuzzer(seed).graph(max_ops=max_ops,
+                                    rewrite_shapes=rewrite_shapes)
+    return graph, verify_seed(seed, max_ops, strict=strict,
+                              rewrite_shapes=rewrite_shapes)
 
 
 def fuzz_work_units(
     seed_list: Sequence[int],
     max_ops: int = DEFAULT_MAX_OPS,
     strict: bool = False,
+    rewrite_shapes: bool = False,
 ) -> List["WorkUnit"]:
     """One payload-complete work unit per seed (kind ``fuzz-seed``)."""
     from repro.orchestrate import WorkUnit
@@ -275,7 +305,8 @@ def fuzz_work_units(
     return [
         WorkUnit("fuzz-seed", f"seed:{seed}",
                  {"seed": int(seed), "max_ops": int(max_ops),
-                  "strict": bool(strict)})
+                  "strict": bool(strict),
+                  "rewrite_shapes": bool(rewrite_shapes)})
         for seed in seed_list
     ]
 
@@ -283,7 +314,11 @@ def fuzz_work_units(
 def run_fuzz_unit(payload: dict) -> dict:
     """Work-unit executor for kind ``fuzz-seed`` (runs in any process)."""
     violations = verify_seed(payload["seed"], payload["max_ops"],
-                             strict=payload["strict"])
+                             strict=payload["strict"],
+                             # .get: journals written before the rewrite
+                             # layer existed replay as default-mode seeds.
+                             rewrite_shapes=payload.get("rewrite_shapes",
+                                                        False))
     return {"seed": payload["seed"],
             "violations": [asdict(v) for v in violations]}
 
@@ -340,6 +375,7 @@ def run_fuzz(
     journal: Union[None, str, "RunJournal"] = None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
+    rewrite_shapes: bool = False,
 ) -> FuzzReport:
     """Verify ``num_seeds`` consecutive seeds (or an explicit seed list).
 
@@ -354,7 +390,7 @@ def run_fuzz(
 
     seed_list = (list(seeds) if seeds is not None
                  else list(range(start_seed, start_seed + num_seeds)))
-    units = fuzz_work_units(seed_list, max_ops, strict)
+    units = fuzz_work_units(seed_list, max_ops, strict, rewrite_shapes)
     stop_when = None
     if stop_on_first:
         stop_when = lambda r: (not r.ok) or bool(r.value["violations"])
@@ -364,5 +400,6 @@ def run_fuzz(
     report = merge_fuzz_results(units, results, stop_on_first)
     if stop_on_first and report.violations:
         report.minimized, _ = minimize(report.violations[0].seed, max_ops,
-                                       strict=strict)
+                                       strict=strict,
+                                       rewrite_shapes=rewrite_shapes)
     return report

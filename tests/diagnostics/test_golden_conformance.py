@@ -39,6 +39,25 @@ class TestGoldenConformance:
 
 
 @pytest.mark.conformance
+@pytest.mark.parametrize("model", PINNED_MODELS)
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+class TestRewrittenGoldenConformance:
+    def test_rewritten_run_matches_golden_numerics(self, model, policy):
+        # The graph-rewrite passes must not move a single bit of the
+        # training numerics: per-step losses and every parameter
+        # gradient hash exactly as the checked-in goldens.  Only the
+        # stash *inventory* may differ — a fused conv+ReLU no longer
+        # stashes the ReLU output, an argmax pool stashes a map — so
+        # stash_hash is deliberately exempt.
+        golden = load_golden(GOLDEN_DIR / golden_filename(model, policy))
+        digest = run_traced(model, policy, steps=3, rewrite=True)
+        assert len(digest.steps) == len(golden.steps)
+        for run, pin in zip(digest.steps, golden.steps):
+            assert run.loss_hash == pin.loss_hash
+            assert run.grads_hash == pin.grads_hash
+
+
+@pytest.mark.conformance
 class TestGoldenInventory:
     def test_goldens_are_well_formed(self):
         files = sorted(GOLDEN_DIR.glob("*.json"))

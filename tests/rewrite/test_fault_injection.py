@@ -1,0 +1,169 @@
+"""Fault injection: deliberately broken passes must fail the oracle.
+
+Each test plants a realistic rewriter bug — a fusion that drops the bias,
+an inplace mark that clobbers a stashed buffer, a CSE merge that ignores
+the exactness restrictions — and asserts that
+:func:`~repro.rewrite.equivalence.check_rewrite_equivalence` catches it
+with a detail string naming what diverged.  If one of these passes starts
+coming back clean, the oracle has lost its teeth.
+"""
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.layers import (
+    Add,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    FusedConvReLU,
+    LocalResponseNorm,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.rewrite import check_rewrite_equivalence
+from repro.rewrite.base import RewritePass, clone_node, rebuild
+from repro.rewrite.passes import FuseConvReLUPass
+
+
+def finish(b, x):
+    x = b.add(Flatten(), x)
+    x = b.add(Dense(5), x)
+    x = b.add(SoftmaxCrossEntropy(), x)
+    b.mark_output(x)
+    return b.build()
+
+
+class DroppedBiasFusedConvReLU(FusedConvReLU):
+    """A fused op that forgets the convolution bias — a classic fusion bug."""
+
+    def forward(self, xs, params, ctx, train=True):
+        doctored = dict(params)
+        doctored["b"] = np.zeros_like(params["b"])
+        return super().forward(xs, doctored, ctx, train)
+
+
+class DroppedBiasFusionPass(FuseConvReLUPass):
+    name = "bad-fusion"
+
+    def run(self, graph):
+        rewritten, changes = super().run(graph)
+        for node in rewritten.nodes:
+            if isinstance(node.layer, FusedConvReLU):
+                node.layer = DroppedBiasFusedConvReLU(node.layer.conv)
+        return rewritten, changes
+
+
+class RecklessInplacePass(RewritePass):
+    """Marks every inplace-capable op, ignoring the safety analysis."""
+
+    name = "bad-inplace"
+
+    def run(self, graph):
+        nodes = {n.node_id: clone_node(n) for n in graph.nodes}
+        changes = 0
+        for node in graph.nodes:
+            if node.inplace or not node.layer.supports_inplace:
+                continue
+            if len(node.inputs) != 1 or node.inputs[0] == graph.input_id:
+                continue
+            nodes[node.node_id].inplace = True
+            changes += 1
+        return rebuild(graph, nodes, graph.output_id), changes
+
+
+class ForgetfulCSEPass(RewritePass):
+    """Merges any same-kind/same-input pair — including parameterised convs
+    with *different* weights — and forgets to delete the duplicate node."""
+
+    name = "bad-cse"
+
+    def run(self, graph):
+        groups = {}
+        for node in graph.nodes:
+            if node.node_id in (graph.input_id, graph.output_id):
+                continue
+            key = (node.kind, tuple(node.inputs), tuple(node.output_shape))
+            groups.setdefault(key, []).append(node)
+        merges = [sorted(m, key=lambda n: n.node_id)
+                  for m in groups.values()
+                  if len(m) == 2
+                  # idempotence: once the dup dangles, leave it alone
+                  and graph.consumers(m[1].node_id)]
+        if not merges:
+            return graph, 0
+        nodes = {n.node_id: clone_node(n) for n in graph.nodes}
+        remap = {dup.node_id: keeper.node_id for keeper, dup in merges}
+        for node in nodes.values():
+            if node.node_id not in remap:  # keep the dup dangling
+                node.inputs = [remap.get(i, i) for i in node.inputs]
+        return rebuild(graph, nodes, graph.output_id), len(merges)
+
+
+class TestFaultInjection:
+    def test_dropped_bias_fusion_is_caught(self):
+        b = GraphBuilder("g", (2, 3, 8, 8))
+        x = b.add(Conv2D(4, 3, pad=1), b.input)
+        x = b.add(ReLU(), x)
+        graph = finish(b, x)
+        violations = check_rewrite_equivalence(
+            graph, passes=[DroppedBiasFusionPass()]
+        )
+        assert violations
+        # Dropping the bias changes the forward values immediately.
+        assert any("loss diverged" in v.detail for v in violations)
+
+    def test_reckless_inplace_is_caught(self):
+        # LRN's backward reads its stashed output; flatten hands dropout a
+        # *view* of that same buffer, so the bogus inplace mark overwrites
+        # the stash and corrupts the gradients flowing back to the conv
+        # (the forward values — and the loss — are untouched).  The pool
+        # guarantees LRN a C-contiguous input, so flatten's reshape is a
+        # genuine view rather than a defensive copy — the exact chain the
+        # equivalence oracle originally caught on fuzz seed 4.
+        b = GraphBuilder("g", (2, 3, 8, 8))
+        x = b.add(Conv2D(4, 1), b.input)
+        x = b.add(AvgPool2D(2, 2), x)
+        x = b.add(LocalResponseNorm(size=3), x)
+        x = b.add(Flatten(), x)
+        x = b.add(Dropout(p=0.5, seed=3), x)
+        graph = finish(b, x)
+        violations = check_rewrite_equivalence(
+            graph, passes=[RecklessInplacePass()]
+        )
+        assert violations
+        assert any("not bit-identical" in v.detail for v in violations)
+        assert not any("loss diverged" in v.detail for v in violations)
+
+    def test_unsound_cse_merge_is_caught(self):
+        # Two convs with identical config but independently initialised
+        # weights are *not* common subexpressions; merging them changes
+        # the forward values, and the undeleted duplicate stops receiving
+        # gradient without having been removed.
+        b = GraphBuilder("g", (2, 3, 8, 8))
+        y1 = b.add(Conv2D(4, 1), b.input)
+        y2 = b.add(Conv2D(4, 1), b.input)
+        graph = finish(b, b.add(Add(), [y1, y2]))
+        violations = check_rewrite_equivalence(
+            graph, passes=[ForgetfulCSEPass()]
+        )
+        assert violations
+        details = [v.detail for v in violations]
+        assert any("loss diverged" in d for d in details)
+        assert any("vanished" in d and "was not removed" in d
+                   for d in details)
+
+    def test_violations_carry_seed_and_subject(self):
+        b = GraphBuilder("g", (2, 3, 8, 8))
+        x = b.add(Conv2D(4, 3, pad=1), b.input)
+        x = b.add(ReLU(), x)
+        graph = finish(b, x)
+        violations = check_rewrite_equivalence(
+            graph, seed=17, passes=[DroppedBiasFusionPass()]
+        )
+        assert violations
+        assert all(v.seed == 17 for v in violations)
+        assert all(v.subject == graph.name for v in violations)
+        assert all(v.oracle == "rewrite-equivalence" for v in violations)

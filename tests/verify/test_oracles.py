@@ -167,10 +167,19 @@ class TestPlanSafetyOracle:
 
     def test_lossless_footprint_regression_fires(self, tiny_graph):
         plan = build_gist_plan(tiny_graph, GistConfig.lossless())
-        from repro.graph.liveness import ROLE_DECODED
+        from repro.graph.liveness import ROLE_DECODED, ROLE_FEATURE_MAP
 
         added = sum(t.size_bytes for t in plan.plan.tensors
                     if t.role in (ROLE_ENCODED, ROLE_DECODED))
+        # Mirror the oracle's slack: inplace-merged producers (no
+        # feature-map tensor of their own) may perturb the greedy
+        # allocator's grouping by up to their own buffer size.
+        with_fm = {t.node_id for t in plan.plan.tensors
+                   if t.role == ROLE_FEATURE_MAP
+                   and not t.spec.name.endswith(".dec")}
+        for node in tiny_graph.nodes:
+            if node.node_id not in with_fm:
+                added += 4 * int(np.prod(node.output_shape))
         assert check_plan_safety(
             plan, baseline_allocated=1000, gist_allocated=1000 + added
         ) == []
