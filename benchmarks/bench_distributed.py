@@ -1,0 +1,170 @@
+"""Benchmark + gates for the simulated data-parallel layer.
+
+Two gates:
+
+* **bit-identity** (always applies) — ``train_distributed`` with four
+  worker replicas must produce the same SHA-256 run digest as the same
+  config on one replica, and both must match the pinned golden digest.
+  The digest covers every per-step loss and every final parameter byte,
+  so this is the replicas-N ≡ serial guarantee end to end through the
+  real process pool.
+* **wire reduction** — encoding real backward-pass gradients with the
+  ``dpr-fp8`` wire codec must move >= ``MIN_REDUCTION`` x fewer bytes
+  than the fp32 wire on at least half the model registry.  The sweep
+  runs one shard-sized forward/backward per model in-process and prices
+  the actual wire messages (``auto`` and ``dpr-fp8``) against fp32.
+
+Writes machine-readable results to ``BENCH_distributed.json`` at the
+repo root (or the path given as argv[1]) and prints a summary.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed import DistConfig, train_distributed, wire_codec
+from repro.ioutil import atomic_write_json
+from repro.models.registry import available_models, build_model
+from repro.train.executor import GraphExecutor
+
+MIN_REDUCTION = 2.0
+PARALLEL_REPLICAS = 4
+
+#: Pinned digest of GOLDEN_CONFIG; any drift in sharding, wire codecs,
+#: tree merge order, RNG derivation or the optimiser changes it.
+GOLDEN_DIGEST = (
+    "8c9a33b41493feb5911787c18c66e27e3024d6508734da5e2f85b46876dfbdf7"
+)
+
+GOLDEN_CONFIG = dict(
+    model="tiny_cnn",
+    batch_size=16,
+    num_shards=4,
+    steps=3,
+    wire_codec="auto",
+    policy="baseline",
+    seed=0,
+)
+
+#: Per-model probe resolution: big enough to be the real graph, small
+#: enough that one shard-sized backward pass per model stays cheap.
+PROBE_IMAGE_SIZE = {
+    "tiny_cnn": 8,
+    "alexnet": 96,
+    "nin": 96,
+    "overfeat": 96,
+    "inception": 224,
+}
+DEFAULT_IMAGE_SIZE = 32
+SWEEP_CODECS = ("auto", "dpr-fp8")
+
+
+def _bit_identity() -> dict:
+    start = time.perf_counter()
+    parallel = train_distributed(
+        DistConfig(replicas=PARALLEL_REPLICAS, **GOLDEN_CONFIG)
+    )
+    serial = train_distributed(DistConfig(replicas=1, **GOLDEN_CONFIG))
+    return {
+        "config": GOLDEN_CONFIG,
+        "replicas": PARALLEL_REPLICAS,
+        "digest_parallel": parallel.digest(),
+        "digest_serial": serial.digest(),
+        "digest_golden": GOLDEN_DIGEST,
+        "losses": parallel.losses,
+        "elapsed_s": time.perf_counter() - start,
+        "ok": (parallel.digest() == serial.digest()
+               and parallel.digest() == GOLDEN_DIGEST),
+    }
+
+
+def _shard_gradients(model: str, seed: int = 0) -> dict:
+    """One shard-sized backward pass -> real parameter gradients."""
+    image_size = PROBE_IMAGE_SIZE.get(model, DEFAULT_IMAGE_SIZE)
+    graph = build_model(model, batch_size=2, num_classes=8,
+                        image_size=image_size)
+    executor = GraphExecutor(graph, seed=seed)
+    _, channels, size, _ = graph.node(graph.input_id).output_shape
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, (2, channels, size, size)).astype(np.float32)
+    y = rng.integers(0, 8, 2).astype(np.int64)
+    executor.forward(x, y, train=True)
+    return executor.backward()
+
+
+def _wire_sweep() -> list:
+    rows = []
+    for model in available_models():
+        start = time.perf_counter()
+        grads = _shard_gradients(model)
+        fp32_bytes = sum(
+            np.ascontiguousarray(g, dtype=np.float32).nbytes
+            for g in grads.values()
+        )
+        row = {
+            "model": model,
+            "image_size": PROBE_IMAGE_SIZE.get(model, DEFAULT_IMAGE_SIZE),
+            "fp32_bytes": int(fp32_bytes),
+        }
+        for name in SWEEP_CODECS:
+            codec = wire_codec(name)
+            wire = sum(
+                codec.encode(g)["wire_bytes"] for g in grads.values()
+            )
+            row[f"{name}_bytes"] = int(wire)
+            row[f"{name}_reduction"] = fp32_bytes / wire
+        row["elapsed_s"] = time.perf_counter() - start
+        rows.append(row)
+    return rows
+
+
+def main(out_path: str = "BENCH_distributed.json") -> dict:
+    identity = _bit_identity()
+    sweep = _wire_sweep()
+
+    passing = [r for r in sweep
+               if r["dpr-fp8_reduction"] >= MIN_REDUCTION]
+    need = (len(sweep) + 1) // 2
+    reduction_ok = len(passing) >= need
+
+    report = {
+        "benchmark": "distributed",
+        "bit_identity": identity,
+        "wire_sweep": sweep,
+        "min_reduction": MIN_REDUCTION,
+        "models_at_min_reduction": len(passing),
+        "models_needed": need,
+        "reduction_gate": reduction_ok,
+        "gates_passed": identity["ok"] and reduction_ok,
+    }
+    atomic_write_json(Path(out_path), report, sort_keys=False)
+
+    print(f"bit identity ({PARALLEL_REPLICAS} replicas vs serial vs golden):"
+          f" {'ok' if identity['ok'] else 'FAIL'}")
+    print(f"  parallel {identity['digest_parallel']}")
+    print(f"  serial   {identity['digest_serial']}")
+    print(f"  golden   {identity['digest_golden']}")
+    print()
+    for row in sweep:
+        print(f"{row['model']:>16}: fp32 {row['fp32_bytes']:>11,} B"
+              f"  auto {row['auto_reduction']:.2f}x"
+              f"  dpr-fp8 {row['dpr-fp8_reduction']:.2f}x")
+    print(f"\n>= {MIN_REDUCTION}x on {len(passing)}/{len(sweep)} models"
+          f" (need {need})")
+    print(f"gates passed: {report['gates_passed']}")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    result = main(sys.argv[1] if len(sys.argv) > 1
+                  else "BENCH_distributed.json")
+    sys.exit(0 if result["gates_passed"] else 1)

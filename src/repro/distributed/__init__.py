@@ -1,0 +1,61 @@
+"""Simulated data-parallel training with compressed communication.
+
+The distributed layer composes three guarantees the repo already ships —
+payload-complete work units (any process can run one), a deterministic
+process pool (results independent of worker count and arrival order) and
+lossless/lossy codecs with measured byte counts — into N-replica
+data-parallel SGD:
+
+* :mod:`repro.distributed.shard` splits each step's minibatch so the
+  concatenation of replica shards is byte-identical to the serial batch;
+* :mod:`repro.distributed.wire` adapts the stash codecs (run-length /
+  CSR for sparse gradients, DPR for dense) into wire codecs with
+  measured bytes-on-wire;
+* :mod:`repro.distributed.allreduce` merges shard gradients through a
+  fixed pairwise tree keyed by shard index, so the merged bits never
+  depend on replica count or completion order;
+* :mod:`repro.distributed.replica` is the ``replica-step`` work-unit
+  executor (one shard, one step, everything from the payload);
+* :mod:`repro.distributed.trainer` drives whole runs over the pool, with
+  elastic worker counts and crash/straggler recovery via the run
+  journal.
+
+The determinism contract extends the pool's: a run with ``replicas=N``
+is byte-identical (losses, parameters, gradients) to the same
+configuration at ``replicas=1`` — the serial comparator — because shard
+structure, wire codec and merge order are all functions of the
+configuration, never of scheduling.
+"""
+
+from repro.distributed.allreduce import tree_reduce, tree_reduce_gradients
+from repro.distributed.replica import replica_work_units, run_replica_unit
+from repro.distributed.shard import shard_slices, split_batch
+from repro.distributed.trainer import (
+    DistConfig,
+    DistRunResult,
+    DistStepRecord,
+    train_distributed,
+)
+from repro.distributed.wire import (
+    WIRE_CODECS,
+    WireCodec,
+    decode_wire,
+    wire_codec,
+)
+
+__all__ = [
+    "DistConfig",
+    "DistRunResult",
+    "DistStepRecord",
+    "WIRE_CODECS",
+    "WireCodec",
+    "decode_wire",
+    "replica_work_units",
+    "run_replica_unit",
+    "shard_slices",
+    "split_batch",
+    "train_distributed",
+    "tree_reduce",
+    "tree_reduce_gradients",
+    "wire_codec",
+]

@@ -1,0 +1,79 @@
+"""Fixed-order pairwise-tree gradient merge.
+
+Floating-point addition is not associative, so "sum the shard gradients"
+underdetermines the result: a ring reduce, a linear fold and a tree give
+different last-ulp bits.  We pin one schedule — iterative pairwise
+merging by *shard index*: ``(0,1), (2,3), ...`` each round, an odd
+tail passing through untouched — and apply it everywhere, so the merged
+bits are a pure function of the per-shard gradients.  Arrival order
+cannot matter because the reduction never sees it: callers index
+contributions by shard before merging.  Replica count cannot matter
+because the tree's shape depends only on ``num_shards``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def tree_reduce(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Pairwise-tree sum of ``arrays`` in index order.
+
+    The schedule is the balanced binary tree over indices; every merge is
+    a single float32 ``a + b``, so the result is bit-reproducible for a
+    fixed input list.
+    """
+    if not arrays:
+        raise ValueError("tree_reduce needs at least one array")
+    level: List[np.ndarray] = [
+        np.asarray(a, dtype=np.float32) for a in arrays
+    ]
+    while len(level) > 1:
+        merged = []
+        for i in range(0, len(level) - 1, 2):
+            merged.append(level[i] + level[i + 1])
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
+def tree_reduce_gradients(
+    shard_grads: Sequence[Dict[str, np.ndarray]],
+    shard_sizes: Sequence[int],
+) -> Dict[str, np.ndarray]:
+    """Merge per-shard parameter gradients into the effective-batch view.
+
+    Each shard's loss (and so its gradients) is a mean over its own
+    samples; weighting shard ``s`` by ``n_s / N`` before the tree-sum
+    reproduces the mean over the whole effective batch.  The weights and
+    the tree schedule are functions of the shard structure alone, so the
+    output is bit-identical however the shard gradients were computed
+    (inline, one worker, N workers) as long as they are passed in shard
+    order.
+    """
+    if len(shard_grads) != len(shard_sizes):
+        raise ValueError(
+            f"{len(shard_grads)} gradient sets but {len(shard_sizes)} "
+            f"shard sizes"
+        )
+    if not shard_grads:
+        raise ValueError("no shard gradients to merge")
+    total = sum(int(n) for n in shard_sizes)
+    if total <= 0:
+        raise ValueError(f"shard sizes must sum positive, got {shard_sizes}")
+    keys = list(shard_grads[0])
+    for shard, grads in enumerate(shard_grads):
+        if list(grads) != keys:
+            raise ValueError(
+                f"shard {shard} gradient keys differ from shard 0"
+            )
+    weights = [np.float32(int(n) / total) for n in shard_sizes]
+    merged: Dict[str, np.ndarray] = {}
+    for key in keys:
+        merged[key] = tree_reduce(
+            [w * g[key] for w, g in zip(weights, shard_grads)]
+        )
+    return merged

@@ -1,0 +1,57 @@
+"""Deterministic minibatch sharding.
+
+The shard structure is part of the *training configuration*, not of the
+scheduling: ``num_shards`` fixes how every step's batch splits, and the
+gradient semantics (which samples contribute to which shard gradient)
+follow from that alone.  Replica count — how many worker processes run
+those shards — is free to vary without touching a single bit of the
+result, which is the property the replicas-N ≡ serial oracle checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def shard_slices(batch_size: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges splitting a batch into shards.
+
+    Sizes are as equal as possible (the first ``batch_size % num_shards``
+    shards get one extra sample) and every shard is non-empty, so the
+    concatenation of the ranges is exactly ``[0, batch_size)``.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if batch_size < num_shards:
+        raise ValueError(
+            f"cannot split batch of {batch_size} into {num_shards} "
+            f"non-empty shards"
+        )
+    base, extra = divmod(batch_size, num_shards)
+    slices = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def split_batch(
+    images: np.ndarray, labels: np.ndarray, num_shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split one minibatch into per-shard ``(images, labels)`` views.
+
+    Concatenating the shards in index order reproduces the input arrays
+    byte-for-byte (the splitter never copies, reorders or pads).
+    """
+    if images.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"{images.shape[0]} images but {labels.shape[0]} labels"
+        )
+    return [
+        (images[start:stop], labels[start:stop])
+        for start, stop in shard_slices(images.shape[0], num_shards)
+    ]

@@ -29,6 +29,7 @@ from repro.encodings.floatsim import (
     quantize,
 )
 from repro.encodings.inplace import inplace_eligible_edges
+from repro.encodings.runlength import RLETensor, RunLengthEncoding, rle_stats
 from repro.encodings.ssdc import (
     BitmapTensor,
     CSRTensor,
@@ -57,6 +58,8 @@ __all__ = [
     "HostSwapEncoding",
     "IdentityEncoding",
     "NARROW_COLS",
+    "RLETensor",
+    "RunLengthEncoding",
     "SSDCEncoding",
     "argmax_map_bytes",
     "bitmap_bytes",
@@ -75,6 +78,7 @@ __all__ = [
     "pack_codes",
     "pack_nibbles",
     "quantize",
+    "rle_stats",
     "unpack_bits",
     "unpack_codes",
     "unpack_nibbles",

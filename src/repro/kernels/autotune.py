@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -58,6 +59,12 @@ def _cache_path() -> Optional[Path]:
         else None
 
 
+def _host_signature() -> Dict[str, int]:
+    from repro.orchestrate.cores import usable_cores
+
+    return {"usable_cores": usable_cores()}
+
+
 def _load_persisted() -> Dict[str, dict]:
     global _persisted
     if _persisted is None:
@@ -67,10 +74,26 @@ def _load_persisted() -> Dict[str, dict]:
             try:
                 data = json.loads(path.read_text())
                 if isinstance(data, dict):
-                    _persisted = {
+                    selections = {
                         k: v for k, v in data.get("selections", {}).items()
                         if isinstance(v, dict) and "backend" in v
                     }
+                    # Timings depend on the host: a cache tuned on a
+                    # multi-core box would silently force losing arms on a
+                    # 1-core runner.  Unstamped or mismatched caches are
+                    # ignored (forcing a retune at this host's timings).
+                    host = data.get("host")
+                    if selections and host != _host_signature():
+                        warnings.warn(
+                            "ignoring autotune cache "
+                            f"{path}: host signature {host!r} does not "
+                            f"match this host {_host_signature()!r}; "
+                            "arms will be re-timed here",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                        selections = {}
+                    _persisted = selections
             except (OSError, ValueError):  # corrupt cache: retune
                 _persisted = {}
     return _persisted
@@ -89,7 +112,10 @@ def _save_persisted() -> None:
             "timings_ms": record.get("timings_ms", {}),
         }
     _persisted.update(merged)
-    atomic_write_json(path, {"version": 1, "selections": merged})
+    atomic_write_json(
+        path,
+        {"version": 1, "host": _host_signature(), "selections": merged},
+    )
 
 
 # ----------------------------------------------------------------------

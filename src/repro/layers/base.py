@@ -123,6 +123,20 @@ class Layer(abc.ABC):
         """Scratch bytes the op needs while executing (cuDNN 'workspace')."""
         return 0
 
+    def reset_state(
+        self, rng: Optional["np.random.Generator"] = None
+    ) -> None:
+        """Reset mutable per-run layer state (RNG streams and the like).
+
+        Most layers are pure functions of ``(inputs, params)`` and ignore
+        this.  Stateful layers (Dropout's mask stream) must override it:
+        with ``rng=None`` they restart from their construction seed, so a
+        fresh executor on an already-used graph behaves exactly like one
+        on a freshly built graph; with a generator they adopt it, which is
+        how data-parallel replicas install independent
+        ``SeedSequence``-derived streams per (step, shard).
+        """
+
     #: Layers with a read-once/write-once element mapping may compute their
     #: output in the input's buffer (the paper's inplace optimisation).
     supports_inplace: bool = False

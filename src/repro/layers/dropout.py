@@ -36,6 +36,13 @@ class Dropout(Layer):
         """Restart the mask stream (reproducible A/B runs on one graph)."""
         self._rng = np.random.default_rng(self._seed if seed is None else seed)
 
+    def reset_state(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Restart the mask stream, or adopt an externally split ``rng``."""
+        if rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        else:
+            self._rng = rng
+
     def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
         (shape,) = input_shapes
         return shape

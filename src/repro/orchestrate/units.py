@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Union
 _KINDS: Dict[str, Union[Callable[[dict], Any], str]] = {
     "fuzz-seed": "repro.verify.runner:run_fuzz_unit",
     "experiment": "repro.experiments:run_sweep_unit",
+    "replica-step": "repro.distributed.replica:run_replica_unit",
 }
 
 

@@ -1,6 +1,7 @@
 """Analytical performance substrate: device model, kernel costs, Gist
 overhead, swapping baselines (naive / vDNN) and utilisation modelling."""
 
+from repro.perf.comm import CommModel, DistStepTime
 from repro.perf.cost import CostModel, StepTime, scale_step
 from repro.perf.device import DeviceSpec, TITAN_X_MAXWELL
 from repro.perf.energy import (
@@ -26,8 +27,10 @@ from repro.perf.utilization import (
 )
 
 __all__ = [
+    "CommModel",
     "CostModel",
     "DRAM_J_PER_BYTE",
+    "DistStepTime",
     "EnergyReport",
     "PCIE_J_PER_BYTE",
     "DeviceSpec",

@@ -9,6 +9,7 @@ bandwidth-bound in both directions.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
 
@@ -93,10 +94,12 @@ class CostModel:
 
     def transfer_time(self, nbytes: float) -> float:
         """Host link (PCIe) transfer time, seconds."""
+        _check_nbytes(nbytes, "transfer_time")
         return nbytes / self.device.pcie_bandwidth
 
     def copy_time(self, nbytes: float) -> float:
         """On-device bandwidth-bound pass over ``nbytes``, seconds."""
+        _check_nbytes(nbytes, "copy_time")
         return nbytes / self.device.mem_bandwidth
 
 
@@ -119,6 +122,28 @@ def scale_step(step: StepTime, speedup: float) -> StepTime:
         {k: v * inv for k, v in step.per_node_forward.items()},
         {k: v * inv for k, v in step.per_node_backward.items()},
     )
+
+
+def _check_nbytes(nbytes: float, where: str) -> None:
+    """Reject sizes no transfer could have.
+
+    A negative or non-finite byte count always indicates a bug upstream
+    (an encoding whose ``encoded_bytes`` under/overflowed, a planner
+    subtracting the wrong direction); pricing it would silently poison
+    every schedule comparison built on the result.
+    """
+    try:
+        if isinstance(nbytes, (str, bytes)):
+            raise TypeError(f"byte count must be numeric, not {type(nbytes)}")
+        value = float(nbytes)
+        bad = not math.isfinite(value) or value < 0.0
+    except (TypeError, ValueError):
+        bad = True
+    if bad:
+        raise ValueError(
+            f"CostModel.{where} needs a finite non-negative byte count, "
+            f"got {nbytes!r}"
+        )
 
 
 def _prod(shape) -> int:

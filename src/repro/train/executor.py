@@ -138,6 +138,32 @@ class GraphExecutor:
         self._ctx: Dict[int, _Context] = {}
         self.last_logits: Optional[np.ndarray] = None
         self.last_sparsity: Dict[str, float] = {}
+        # Layers carry mutable state (Dropout's mask RNG) that outlives an
+        # executor when graphs are reused.  Rewinding here makes a second
+        # executor on the same graph byte-identical to the first, instead
+        # of silently resuming the previous executor's streams.
+        self.reset_layer_state()
+
+    # ------------------------------------------------------------------
+    def reset_layer_state(
+        self, seed_sequence: Optional[np.random.SeedSequence] = None
+    ) -> None:
+        """Reset every layer's mutable state (RNG streams).
+
+        With ``seed_sequence=None`` each stateful layer rewinds to its
+        construction seed.  With a :class:`~numpy.random.SeedSequence`,
+        one child is spawned per graph node (in graph order, so the split
+        is independent of which layers happen to be stateful) and handed
+        to that node's layer — this is how data-parallel replicas install
+        per-(step, shard) mask streams.
+        """
+        children = (
+            [None] * len(self.graph.nodes) if seed_sequence is None
+            else seed_sequence.spawn(len(self.graph.nodes))
+        )
+        for node, child in zip(self.graph.nodes, children):
+            rng = None if child is None else np.random.default_rng(child)
+            node.layer.reset_state(rng)
 
     # ------------------------------------------------------------------
     def parameters(self) -> Dict[str, np.ndarray]:

@@ -31,6 +31,7 @@ from repro.verify.oracles import (
     check_roundtrip,
     interval_clique_bound,
 )
+from repro.verify.distributed import ORACLE_DISTRIBUTED, check_distributed
 from repro.verify.runner import (
     FuzzReport,
     fuzz_work_units,
@@ -50,6 +51,7 @@ __all__ = [
     "ORACLE_ALLOCATOR_SAFETY",
     "ORACLE_BACKEND_DIFFERENTIAL",
     "ORACLE_DECISION_BYTES",
+    "ORACLE_DISTRIBUTED",
     "ORACLE_HYBRID",
     "ORACLE_PLAN_SAFETY",
     "ORACLE_POLICY_BOUNDS",
@@ -58,6 +60,7 @@ __all__ = [
     "check_allocator_safety",
     "check_backend_agreement",
     "check_decision_bytes",
+    "check_distributed",
     "check_hybrid_plan",
     "check_measured_bytes",
     "check_plan_safety",

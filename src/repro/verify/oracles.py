@@ -35,6 +35,7 @@ from repro.encodings.binarize import BinarizeEncoding
 from repro.encodings.dpr import DPREncoding
 from repro.encodings.floatsim import max_relative_error
 from repro.encodings.groupquant import GroupQuantEncoding, GroupQuantTensor
+from repro.encodings.runlength import RunLengthEncoding, rle_stats
 from repro.encodings.ssdc import SSDCEncoding, csr_bytes
 from repro.graph.liveness import (
     LiveTensor,
@@ -731,6 +732,10 @@ def check_measured_bytes(codec: Encoding, x: np.ndarray) -> List[Violation]:
         ctx["sparsity"] = (
             float(np.mean(np.asarray(x) == 0)) if x.size else 1.0
         )
+    elif isinstance(codec, RunLengthEncoding):
+        # The exact-model context: run structure is not a function of
+        # sparsity alone, so the oracle hands the codec its own stats.
+        ctx["nnz"], ctx["num_runs"] = rle_stats(np.asarray(x))
     try:
         measured = codec.measure_bytes(codec.encode(x))
     except Exception as exc:  # noqa: BLE001

@@ -28,6 +28,13 @@ backend-differential   every kernel-registry arm agrees with its op's
                        ground-truth arm on shared inputs: exact arms
                        bit-for-bit, tolerance arms within their
                        registered bound (integer outputs always exact)
+distributed-replica    replica shards reassemble the serial batch
+                       byte-identically; the pairwise-tree gradient
+                       merge is arrival-order invariant; wire codecs
+                       round-trip live gradients (lossless bit-exact,
+                       lossy deterministic); a step through the pool
+                       pipeline merges to the same bits as direct
+                       execution
 =====================  ==============================================
 
 Violations carry the seed, so ``repro fuzz --seeds 1 --start-seed S``
@@ -49,6 +56,7 @@ from repro.encodings.base import IdentityEncoding
 from repro.encodings.binarize import BinarizeEncoding
 from repro.encodings.dpr import dpr_encoding
 from repro.encodings.groupquant import GroupQuantEncoding
+from repro.encodings.runlength import RunLengthEncoding
 from repro.encodings.ssdc import SSDCEncoding
 from repro.graph.graph import Graph
 from repro.graph.schedule import TrainingSchedule
@@ -127,6 +135,7 @@ def _codec_battery(rng):
         SSDCEncoding(),
         SSDCEncoding(value_dtype=FP16),
         SSDCEncoding(value_dtype=FP8),
+        RunLengthEncoding(),
         dpr_encoding("fp16"),
         dpr_encoding("fp10"),
         dpr_encoding("fp8"),
@@ -266,9 +275,12 @@ def verify_seed(
         result = apply_passes(graph)
         if result.changed:
             violations += verify_graph(result.graph, seed, strict=strict)
+    from repro.verify.distributed import check_distributed
+
     return (violations
             + verify_encodings(seed)
-            + verify_backends(seed))
+            + verify_backends(seed)
+            + check_distributed(seed))
 
 
 def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,

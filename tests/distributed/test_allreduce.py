@@ -1,0 +1,67 @@
+"""Pairwise-tree all-reduce: fixed schedule, exact weighting, validation."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import tree_reduce, tree_reduce_gradients
+
+
+def _arrays(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, (5, 3)).astype(np.float32) for _ in range(n)]
+
+
+def test_single_input_passes_through():
+    (a,) = _arrays(1)
+    assert tree_reduce([a]).tobytes() == a.tobytes()
+
+
+def test_tree_matches_explicit_pairwise_schedule():
+    a, b, c, d, e = _arrays(5)
+    expected = ((a + b) + (c + d)) + e
+    assert tree_reduce([a, b, c, d, e]).tobytes() == expected.tobytes()
+
+
+def test_tree_is_bit_deterministic():
+    arrays = _arrays(7, seed=1)
+    first = tree_reduce(arrays)
+    for _ in range(3):
+        assert tree_reduce(arrays).tobytes() == first.tobytes()
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        tree_reduce([])
+
+
+def test_equal_shards_of_identical_grads_reduce_to_the_grads():
+    # Power-of-two equal weights make w*g + w*g exact in float32, so four
+    # identical shard gradients must merge to themselves bit-for-bit.
+    grads = {"w": _arrays(1, seed=2)[0]}
+    merged = tree_reduce_gradients([grads] * 4, [2, 2, 2, 2])
+    assert merged["w"].tobytes() == grads["w"].tobytes()
+
+
+def test_unequal_shards_weight_by_sample_count():
+    g1 = {"w": np.float32(1.0) * np.ones(3, dtype=np.float32)}
+    g2 = {"w": np.float32(5.0) * np.ones(3, dtype=np.float32)}
+    merged = tree_reduce_gradients([g1, g2], [3, 1])
+    expected = np.float32(0.75) * g1["w"] + np.float32(0.25) * g2["w"]
+    assert merged["w"].tobytes() == expected.tobytes()
+
+
+def test_key_disagreement_rejected():
+    a = {"w": np.ones(2, dtype=np.float32)}
+    b = {"v": np.ones(2, dtype=np.float32)}
+    with pytest.raises(ValueError, match="keys differ"):
+        tree_reduce_gradients([a, b], [1, 1])
+
+
+def test_size_mismatch_and_empty_rejected():
+    a = {"w": np.ones(2, dtype=np.float32)}
+    with pytest.raises(ValueError):
+        tree_reduce_gradients([a], [1, 2])
+    with pytest.raises(ValueError):
+        tree_reduce_gradients([], [])
+    with pytest.raises(ValueError):
+        tree_reduce_gradients([a, a], [0, 0])

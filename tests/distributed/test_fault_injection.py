@@ -1,0 +1,108 @@
+"""Fault injection: replica crashes, stragglers, and journal resume.
+
+The pool's contract for replica units is at-least-once execution with
+deterministic results, so none of these faults may change a single bit
+of the merged run:
+
+* a replica worker SIGKILLed mid-step is respawned and its shard
+  retried;
+* a straggling replica only delays arrival, which the fixed-order tree
+  merge never observes;
+* a run killed between steps resumes from its journal, re-running only
+  shards without a terminal record.
+
+Each test pins the result digest against the golden serial digest from
+``test_trainer``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.distributed import DistConfig, run_replica_unit, train_distributed
+from repro.ioutil import read_jsonl
+from repro.orchestrate import units as unit_registry
+from repro.orchestrate.units import register_kind
+
+from tests.distributed.test_trainer import _CONFIG, _GOLDEN
+
+
+@pytest.fixture
+def replica_kind():
+    """Register a scoped unit kind; forked workers inherit the callable."""
+    registered = []
+
+    def _register(name, fn):
+        register_kind(name, fn)
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        unit_registry._KINDS.pop(name, None)
+
+
+def test_sigkilled_replica_is_retried_without_changing_bits(
+        tmp_path, replica_kind):
+    marker = tmp_path / "crashed-once"
+
+    def crash_once(payload):
+        if payload["step"] == 0 and payload["shard"] == 0 \
+                and not marker.exists():
+            marker.write_text("dying")
+            os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no excuses
+        return run_replica_unit(payload)
+
+    kind = replica_kind("replica-crash-once", crash_once)
+    result = train_distributed(
+        DistConfig(replicas=2, unit_kind=kind, retries=1, **_CONFIG)
+    )
+    assert marker.exists(), "the fault was never injected"
+    assert result.digest() == _GOLDEN
+
+
+def test_straggling_replica_does_not_change_bits(replica_kind):
+    def straggle(payload):
+        if payload["shard"] == 0:
+            time.sleep(0.2)  # shard 0 finishes last every step
+        return run_replica_unit(payload)
+
+    kind = replica_kind("replica-straggler", straggle)
+    result = train_distributed(
+        DistConfig(replicas=4, unit_kind=kind, **_CONFIG)
+    )
+    assert result.digest() == _GOLDEN
+
+
+def test_journal_resume_reruns_only_missing_shards(tmp_path, replica_kind):
+    journal = tmp_path / "dist.jsonl"
+    executed = tmp_path / "executed.log"
+
+    def logging_unit(payload):
+        with open(executed, "a") as fh:
+            fh.write(f"step:{payload['step']}/shard:{payload['shard']}\n")
+        return run_replica_unit(payload)
+
+    kind = replica_kind("replica-logged", logging_unit)
+    config = DistConfig(replicas=2, unit_kind=kind, **_CONFIG)
+    assert train_distributed(config, journal=str(journal)).digest() \
+        == _GOLDEN
+    complete = journal.read_text().splitlines()
+    assert len(complete) == _CONFIG["steps"] * _CONFIG["num_shards"]
+
+    # Simulate a driver killed mid-run: only the first three shard
+    # records survive.  The resumed run must re-run exactly the missing
+    # units and still land on the golden digest.
+    journal.write_text("\n".join(complete[:3]) + "\n")
+    executed.write_text("")
+    resumed = train_distributed(config, journal=str(journal))
+    assert resumed.digest() == _GOLDEN
+    rerun = executed.read_text().splitlines()
+    replayed = {record["key"] for record in read_jsonl(journal)}
+    assert len(replayed) == len(complete)
+    assert len(rerun) == len(complete) - 3
+    surviving = {json.loads(line)["key"] for line in complete[:3]}
+    assert surviving.isdisjoint(rerun)

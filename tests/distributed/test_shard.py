@@ -1,0 +1,52 @@
+"""Deterministic shard splitter: coverage, balance, byte-identity."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import shard_slices, split_batch
+
+
+def test_slices_cover_batch_contiguously():
+    for batch in range(1, 17):
+        for shards in range(1, batch + 1):
+            slices = shard_slices(batch, shards)
+            assert len(slices) == shards
+            assert slices[0][0] == 0
+            assert slices[-1][1] == batch
+            for (_, stop), (start, _) in zip(slices, slices[1:]):
+                assert stop == start, "shards must tile the batch"
+
+
+def test_slices_balance_within_one_sample():
+    slices = shard_slices(10, 4)
+    sizes = [stop - start for start, stop in slices]
+    assert sizes == [3, 3, 2, 2]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_invalid_splits_raise():
+    with pytest.raises(ValueError):
+        shard_slices(8, 0)
+    with pytest.raises(ValueError):
+        shard_slices(4, 5)  # would create an empty shard
+    with pytest.raises(ValueError):
+        shard_slices(0, 1)
+
+
+def test_split_batch_concat_is_byte_identical():
+    rng = np.random.default_rng(7)
+    images = rng.normal(0, 1, (11, 3, 4, 4)).astype(np.float32)
+    labels = rng.integers(0, 5, 11).astype(np.int64)
+    for shards in (1, 2, 3, 5, 11):
+        parts = split_batch(images, labels, shards)
+        assert np.concatenate([p[0] for p in parts]).tobytes() \
+            == images.tobytes()
+        assert np.concatenate([p[1] for p in parts]).tobytes() \
+            == labels.tobytes()
+
+
+def test_split_batch_rejects_mismatched_lengths():
+    images = np.zeros((4, 1, 2, 2), dtype=np.float32)
+    labels = np.zeros(3, dtype=np.int64)
+    with pytest.raises(ValueError):
+        split_batch(images, labels, 2)

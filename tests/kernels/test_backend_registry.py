@@ -169,3 +169,50 @@ def test_autotune_survives_corrupt_cache_file(tmp_path, monkeypatch):
         assert autotune.autotune_report()[0]["source"] == "tuned"
     finally:
         autotune.clear_selection_cache()
+
+
+def test_autotune_cache_from_different_host_warns_and_retunes(tmp_path,
+                                                              monkeypatch):
+    cache = tmp_path / "autotune.json"
+    monkeypatch.setattr(config, "autotune_cache_path", str(cache))
+    autotune.clear_selection_cache()
+    try:
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, (1, 2, 6, 6)).astype(np.float32)
+        w4 = rng.normal(0, 0.5, (3, 2, 3, 3)).astype(np.float32)
+        autotune.autotuned_backend("conv2d", x, w4, None, 1, 0)
+        assert cache.exists()
+
+        # Forge a cache tuned on a machine with a different core count:
+        # its timings are meaningless here, so loading must warn and
+        # fall back to re-timing every arm on *this* host.
+        import json
+        data = json.loads(cache.read_text())
+        assert data["host"] == autotune._host_signature()
+        data["host"] = {"usable_cores": data["host"]["usable_cores"] + 7}
+        cache.write_text(json.dumps(data))
+
+        autotune.clear_selection_cache()
+        with pytest.warns(RuntimeWarning, match="host signature"):
+            autotune.autotuned_backend("conv2d", x, w4, None, 1, 0)
+        assert autotune.autotune_report()[0]["source"] == "tuned"
+    finally:
+        autotune.clear_selection_cache()
+
+
+def test_autotune_unstamped_legacy_cache_is_ignored(tmp_path, monkeypatch):
+    import json
+    cache = tmp_path / "autotune.json"
+    # Pre-host-stamp cache layout: selections at top level, no "host".
+    cache.write_text(json.dumps({
+        "version": 1,
+        "selections": {"conv2d|bogus": {"backend": "reference",
+                                        "timings_ms": {}}},
+    }))
+    monkeypatch.setattr(config, "autotune_cache_path", str(cache))
+    autotune.clear_selection_cache()
+    try:
+        with pytest.warns(RuntimeWarning, match="host signature"):
+            assert autotune._load_persisted() == {}
+    finally:
+        autotune.clear_selection_cache()

@@ -1,0 +1,87 @@
+"""Regression: executors must not inherit advanced dropout RNG state.
+
+Layers live on the graph, so two executors built over the same graph
+used to *share* one dropout generator: whoever ran first advanced the
+stream, and the second executor silently drew different masks than a
+fresh process would — same graph, same seeds, different bits.  The fix
+is ``Layer.reset_state``: ``GraphExecutor.__init__`` rewinds every
+layer's stream to its construction seed, and
+``GraphExecutor.reset_layer_state(seed_sequence)`` re-keys the streams
+from externally split :class:`numpy.random.SeedSequence` children (how
+replica workers decorrelate masks across shards while staying exactly
+reproducible).
+"""
+
+import numpy as np
+
+from repro.layers import Dropout
+from repro.models import build_model
+from repro.train.executor import GraphExecutor
+
+
+def _fixed_batch(graph, seed=0):
+    shape = graph.node(graph.input_id).output_shape
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, shape).astype(np.float32)
+    y = rng.integers(0, shape[0] + 2, shape[0]).astype(np.int64)
+    return x, y
+
+
+def test_second_executor_on_same_graph_matches_the_first():
+    # Pre-fix this failed: the first executor's forward advanced the
+    # shared dropout generator, so the second one drew different masks.
+    graph = build_model("scaled_vgg", batch_size=2, num_classes=4, width=8,
+                        image_size=32)
+    x, y = _fixed_batch(graph)
+    loss_first = GraphExecutor(graph, seed=0).forward(x, y, train=True)
+    loss_second = GraphExecutor(graph, seed=0).forward(x, y, train=True)
+    assert loss_first == loss_second
+
+
+def test_dropout_actually_draws_fresh_masks_within_one_executor():
+    graph = build_model("scaled_vgg", batch_size=2, num_classes=4, width=8,
+                        image_size=32)
+    x, y = _fixed_batch(graph)
+    executor = GraphExecutor(graph, seed=0)
+    first = executor.forward(x, y, train=True)
+    second = executor.forward(x, y, train=True)
+    assert first != second, "dropout mask stream looks frozen"
+
+
+def test_seed_sequence_rekeying_is_reproducible_and_distinct():
+    graph = build_model("scaled_vgg", batch_size=2, num_classes=4, width=8,
+                        image_size=32)
+    x, y = _fixed_batch(graph)
+    executor = GraphExecutor(graph, seed=0)
+
+    def loss_with(entropy):
+        executor.reset_layer_state(np.random.SeedSequence(entropy))
+        return executor.forward(x, y, train=True)
+
+    assert loss_with([7, 0]) == loss_with([7, 0])
+    assert loss_with([7, 0]) != loss_with([7, 1])
+
+
+def test_dropout_reset_state_rewinds_to_construction_seed():
+    layer = Dropout(p=0.5, seed=123)
+    x = np.ones((4, 64), dtype=np.float32)
+    first = layer.forward([x], {}, None, train=True)
+    layer.reset_state()
+    again = layer.forward([x], {}, None, train=True)
+    assert first.tobytes() == again.tobytes()
+
+    # An explicit generator is adopted as-is.
+    layer.reset_state(np.random.default_rng(9))
+    adopted = layer.forward([x], {}, None, train=True)
+    expected = Dropout(p=0.5, seed=0)
+    expected.reset_state(np.random.default_rng(9))
+    assert adopted.tobytes() == \
+        expected.forward([x], {}, None, train=True).tobytes()
+
+
+def test_base_layer_reset_state_is_a_no_op():
+    from repro.layers import ReLU
+
+    layer = ReLU()
+    layer.reset_state()  # must not raise on stateless layers
+    layer.reset_state(np.random.default_rng(0))
