@@ -1,0 +1,110 @@
+"""Benchmark + gate for the training-service content-addressed cache.
+
+Measures the serve layer's warm-path win: a batch of job specs is run
+cold (cache empty — every job is planned/fuzzed on the pool), then the
+*identical* batch is resubmitted warm (every job answered from the
+content-addressed result cache).  Gates on two properties:
+
+* **speedup** — the warm pass must be >= ``MIN_SPEEDUP`` x faster than
+  the cold pass.  The warm path is pure fingerprint hashing plus one
+  small JSON read per job, so anything less means cache lookups are
+  doing real work.
+* **bit-identity** — every warm result digest must equal its cold
+  digest, and the warm pass must schedule zero pool work.  A cache that
+  changes answers (or silently recomputes) is worse than no cache.
+
+Writes machine-readable results to ``BENCH_serve.json`` at the repo
+root (or the path given as argv[1]) and prints a summary.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.ioutil import atomic_write_json
+from repro.serve import JobService
+
+MIN_SPEEDUP = 5.0
+
+#: The benchmark batch: planner jobs across models/budgets plus a fuzz
+#: battery — heavy enough that the cold pass measures real work.
+JOBS = [
+    {"kind": "plan", "model": "tiny_cnn", "batch_size": 8, "name": "p-tiny"},
+    {"kind": "plan", "model": "tiny_cnn", "batch_size": 8, "budget": 0.3,
+     "name": "p-tiny-b30"},
+    {"kind": "plan", "model": "scaled_vgg", "batch_size": 8,
+     "name": "p-vgg"},
+    {"kind": "plan", "model": "scaled_vgg", "batch_size": 8,
+     "strategy": "recompute", "budget": 0.3, "name": "p-vgg-rec"},
+    {"kind": "fuzz", "seeds": 10, "name": "fuzz-10"},
+    {"kind": "train", "model": "tiny_cnn", "batch_size": 8, "steps": 2,
+     "num_samples": 16, "name": "train-tiny"},
+]
+
+
+def _timed_pass(service: JobService):
+    for job in JOBS:
+        service.submit(job)
+    start = time.perf_counter()
+    report = service.run_pending()
+    return time.perf_counter() - start, report
+
+
+def main(out_path: str = "BENCH_serve.json") -> dict:
+    with tempfile.TemporaryDirectory() as state_dir:
+        service = JobService(state_dir)
+
+        cold_s, cold = _timed_pass(service)
+        warm_s, warm = _timed_pass(service)
+
+        assert cold.ok, f"cold pass failed: {cold.to_json()}"
+        assert warm.ok, f"warm pass failed: {warm.to_json()}"
+
+        cold_digests = {job.fingerprint: job.digest for job in cold.jobs}
+        warm_digests = {job.fingerprint: job.digest for job in warm.jobs}
+        bit_identical = cold_digests == warm_digests
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+        result = {
+            "benchmark": "serve_cache_warm_path",
+            "jobs": len(JOBS),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+            "cold_scheduled": cold.scheduled,
+            "warm_scheduled": warm.scheduled,
+            "warm_result_cache_hits": warm.result_cache_hits,
+            "bit_identical": bit_identical,
+            "cache": service.cache.stats(),
+            "digests": cold_digests,
+        }
+
+    out = Path(out_path)
+    atomic_write_json(out, result)
+
+    print(f"serve cache warm path: {len(JOBS)} jobs")
+    print(f"  cold pass: {cold_s:.3f}s ({cold.scheduled} scheduled)")
+    print(f"  warm pass: {warm_s:.3f}s ({warm.scheduled} scheduled, "
+          f"{warm.result_cache_hits} result-cache hits)")
+    print(f"  speedup: {speedup:.1f}x (gate: >= {MIN_SPEEDUP}x)")
+    print(f"  bit-identical digests: {bit_identical}")
+    print(f"wrote {out}")
+
+    assert bit_identical, "warm digests diverged from cold digests"
+    assert warm.scheduled == 0, "warm pass scheduled pool work"
+    assert warm.result_cache_hits == len(JOBS), "not every job hit"
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm-path speedup {speedup:.1f}x below the {MIN_SPEEDUP}x gate")
+    return result
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json")

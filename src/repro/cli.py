@@ -21,6 +21,11 @@ Commands:
 * ``disttrain`` — simulated data-parallel SGD over the process pool:
   compressed all-reduce, journal resume, and a replicas-N ≡ serial
   bit-identity check via ``--compare-serial``.
+* ``submit`` — validate YAML/JSON job specs and enqueue them on a
+  service state directory; prints each job's content fingerprint.
+* ``serve`` — the training-service daemon: drains the queue onto the
+  pool behind a content-addressed plan/result cache; with ``--jobs``
+  runs one-shot (submit + drain + report).
 """
 
 from __future__ import annotations
@@ -425,6 +430,62 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_files(paths):
+    """Validated specs from every file, or raises JobSpecError."""
+    from repro.serve import load_job_specs
+
+    specs = []
+    for path in paths:
+        specs.extend(load_job_specs(path))
+    return specs
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import JobService, JobSpecError
+
+    try:
+        specs = _load_spec_files(args.files)
+    except JobSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = JobService(args.state)
+    for spec in specs:
+        fingerprint = service.submit(spec)
+        label = f" name={spec.name}" if spec.name else ""
+        print(f"submitted {fingerprint} kind={spec.kind}{label}")
+    print(f"queued: {len(service.queued())} entr(y/ies) in "
+          f"{service.queue_path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobService, JobSpecError
+
+    service = JobService(args.state, workers=args.workers,
+                         timeout_s=args.timeout)
+    if args.jobs:
+        # One-shot batch mode: submit the specs, drain once, report.
+        try:
+            specs = _load_spec_files(args.jobs)
+        except JobSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for spec in specs:
+            service.submit(spec)
+        report = service.run_pending()
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    def on_report(report):
+        print(report.summary())
+        sys.stdout.flush()
+
+    failures = service.serve_forever(poll_s=args.poll,
+                                     max_polls=args.max_polls,
+                                     on_report=on_report)
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -616,6 +677,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "the digests are bit-identical")
     p.set_defaults(func=cmd_disttrain)
 
+    p = sub.add_parser("submit", help="validate job specs and enqueue "
+                                      "them on a service state dir")
+    p.add_argument("files", nargs="+", metavar="SPEC",
+                   help="YAML/JSON job-spec files (a mapping, a list, "
+                        "or {'jobs': [...]})")
+    p.add_argument("--state", default="serve-state", metavar="DIR",
+                   help="service state directory (default: serve-state)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("serve", help="training-service daemon: durable "
+                                     "queue + content-addressed cache "
+                                     "over the pool")
+    p.add_argument("--state", default="serve-state", metavar="DIR",
+                   help="service state directory holding queue.jsonl, "
+                        "journal.jsonl and cache/ (default: serve-state)")
+    p.add_argument("--jobs", nargs="+", metavar="SPEC", default=None,
+                   help="one-shot mode: submit these spec files, drain "
+                        "the queue once, print the report and exit")
+    p.add_argument("--workers", type=int, default=1,
+                   help="pool worker processes per pass (default: 1; "
+                        "results are byte-identical for any count)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-job timeout in seconds (needs --workers "
+                        ">= 2)")
+    p.add_argument("--poll", type=float, default=1.0, metavar="S",
+                   help="daemon queue poll interval (default: 1.0)")
+    p.add_argument("--max-polls", type=int, default=None, metavar="N",
+                   help="stop the daemon after N polls (default: run "
+                        "until killed)")
+    p.set_defaults(func=cmd_serve)
+
     return parser
 
 
@@ -625,8 +717,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except BrokenPipeError:  # e.g. `repro models | head`
-        return 0
+    except BrokenPipeError:  # e.g. `repro fuzz | head` closing early
+        # The command did NOT finish: exit non-zero (the conventional
+        # 128+SIGPIPE) so a truncated verification can't read as a pass.
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,6 +1,11 @@
 """Execution-graph IR: DAG, builder, training schedule, liveness."""
 
 from repro.graph.builder import GraphBuilder, NodeRef
+from repro.graph.fingerprint import (
+    FINGERPRINT_VERSION,
+    graph_fingerprint,
+    node_fingerprints,
+)
 from repro.graph.graph import Graph, GraphError
 from repro.graph.liveness import (
     LiveTensor,
@@ -20,6 +25,7 @@ from repro.graph.schedule import BACKWARD, FORWARD, ScheduledOp, TrainingSchedul
 
 __all__ = [
     "BACKWARD",
+    "FINGERPRINT_VERSION",
     "FORWARD",
     "Graph",
     "GraphBuilder",
@@ -39,4 +45,6 @@ __all__ = [
     "TrainingSchedule",
     "compute_lifetimes",
     "feature_map_last_uses",
+    "graph_fingerprint",
+    "node_fingerprints",
 ]

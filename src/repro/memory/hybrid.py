@@ -190,6 +190,39 @@ class HybridPlan:
             out[d.choice] += d.fp32_bytes
         return out
 
+    def summary_json(self) -> dict:
+        """JSON-serialisable summary: every decision plus the footprints.
+
+        This is the unit of plan caching (see :func:`plan_cache_key`):
+        it captures everything a caller needs to report or compare a
+        priced plan — the per-tensor decision table, the footprints, the
+        budget accounting — without the graph/schedule/allocator objects
+        that only an executor needs (those are cheap to rebuild, the
+        pricing is what amortises).
+        """
+        from dataclasses import asdict
+
+        return {
+            "graph": self.graph.name,
+            "strategy": self.policy.strategy,
+            "cost_budget_frac": float(self.policy.cost_budget_frac),
+            "decisions": [asdict(self.decisions[nid])
+                          for nid in sorted(self.decisions)],
+            "baseline_step_s": float(self.baseline_step_s),
+            "budget_s": float(self.budget_s),
+            "total_cost_s": float(self.total_cost_s),
+            "allocated_bytes": int(self.allocated_bytes),
+            "baseline_allocated_bytes": int(self.baseline_allocated_bytes),
+            "footprint_ratio": float(self.footprint_ratio),
+            "overhead_frac": float(self.overhead_frac),
+            "lossless": bool(self.lossless),
+            "pure_footprints": {k: int(v)
+                                for k, v in sorted(
+                                    self.pure_footprints.items())},
+            "fallback_strategy": self.fallback_strategy,
+            "bytes_by_choice": self.bytes_by_choice(),
+        }
+
 
 @dataclass(frozen=True)
 class _Option:
@@ -756,3 +789,61 @@ def build_hybrid_plan(
         fallback_strategy=fallback_strategy,
         rewritten_pools=pools,
     )
+
+
+# ----------------------------------------------------------------------
+# Content-addressed plan caching (the serve layer's hook)
+# ----------------------------------------------------------------------
+def plan_cache_key(graph: Graph, policy: "Optional[HybridPolicy]" = None
+                   ) -> dict:
+    """Content-addressed cache key for a priced plan.
+
+    ``(graph-fingerprint, strategy, budget, gist switches)`` — a pure
+    function of what the planner sees, never of node names, model-zoo
+    spelling or who asked.  Two isomorphic graphs requested under the
+    same policy share one cache slot.
+    """
+    from dataclasses import asdict
+
+    from repro.core.policy import HybridPolicy
+    from repro.graph.fingerprint import graph_fingerprint
+
+    policy = policy or HybridPolicy()
+    return {
+        "kind": "hybrid-plan",
+        "graph_fingerprint": graph_fingerprint(graph),
+        "strategy": policy.strategy,
+        "cost_budget_frac": float(policy.cost_budget_frac),
+        "gist": asdict(policy.gist),
+    }
+
+
+def build_hybrid_plan_summary(
+    graph: Graph,
+    policy: "Optional[HybridPolicy]" = None,
+    cache=None,
+) -> Tuple[dict, bool]:
+    """Plan summary for ``graph``, served from ``cache`` when possible.
+
+    Args:
+        graph: Training execution graph.
+        policy: Planner policy (defaults like :func:`build_hybrid_plan`).
+        cache: Optional content-addressed store with ``get(key)`` /
+            ``put(key, value)`` (e.g.
+            :class:`repro.serve.cache.ContentCache`).  ``None`` always
+            re-plans.
+
+    Returns:
+        ``(summary, cached)`` — the :meth:`HybridPlan.summary_json`
+        mapping, and whether it was served from the cache without
+        re-pricing the graph.
+    """
+    key = plan_cache_key(graph, policy)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit, True
+    summary = build_hybrid_plan(graph, policy).summary_json()
+    if cache is not None:
+        summary = cache.put(key, summary)
+    return summary, False

@@ -26,7 +26,6 @@ worker count and completion order.
 
 from __future__ import annotations
 
-import json
 import multiprocessing as mp
 import time
 import traceback
@@ -36,7 +35,7 @@ from queue import Empty
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.orchestrate.journal import RunJournal
-from repro.orchestrate.units import WorkUnit, resolve_kind
+from repro.orchestrate.units import WorkUnit, normalise_json, resolve_kind
 
 #: Parent poll interval while waiting on worker results (seconds).
 _POLL_S = 0.05
@@ -79,8 +78,13 @@ def _error_info(exc: BaseException) -> dict:
 
 
 def _normalise(value):
-    """JSON round-trip a result so live and replayed runs agree."""
-    return json.loads(json.dumps(value))
+    """JSON round-trip a result so live and replayed runs agree.
+
+    Shares :func:`repro.orchestrate.units.normalise_json` with the
+    payload fingerprint, so results and payloads canonicalise numpy
+    scalars/arrays identically.
+    """
+    return normalise_json(value)
 
 
 def _worker_main(worker_id: int, task_q, result_q) -> None:
@@ -346,7 +350,7 @@ def run_units(
             raise ValueError(f"duplicate work-unit key {unit.key!r}")
         seen.add(unit.key)
         try:
-            json.dumps(unit.payload)
+            normalise_json(unit.payload)
         except (TypeError, ValueError) as exc:
             raise ValueError(
                 f"unit {unit.key!r} payload is not JSON-serialisable: {exc}"

@@ -25,7 +25,46 @@ _KINDS: Dict[str, Union[Callable[[dict], Any], str]] = {
     "fuzz-seed": "repro.verify.runner:run_fuzz_unit",
     "experiment": "repro.experiments:run_sweep_unit",
     "replica-step": "repro.distributed.replica:run_replica_unit",
+    "serve-job": "repro.serve.jobs:run_serve_job",
 }
+
+
+def json_default(value):
+    """``json.dumps`` fallback mapping numpy scalars/arrays to plain JSON.
+
+    Sweep and serve configs are frequently built from numpy-derived
+    values (``np.int64`` seeds, ``np.float32`` budgets, small arrays);
+    these must serialise the same way their round-tripped Python
+    equivalents do, or fingerprints and journals diverge.
+    """
+    # Duck-typed so importing this module never drags in numpy.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return value.item()  # numpy scalar -> int/float/bool
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return value.tolist()  # numpy array -> nested lists
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON-serialisable"
+    )
+
+
+def canonical_json(value) -> str:
+    """Canonical JSON text of ``value``: round-trip stable, sorted keys.
+
+    The value is serialised (numpy-aware), parsed back, and serialised
+    again, so anything that changes representation across a JSON round
+    trip (tuples -> lists, numpy scalars -> Python scalars, int-valued
+    floats) reaches its fixed point before being hashed or compared.
+    This is the same normalisation the pool applies to unit results.
+    """
+    once = json.dumps(value, sort_keys=True, default=json_default)
+    return json.dumps(json.loads(once), sort_keys=True)
+
+
+def normalise_json(value):
+    """JSON round-trip ``value`` (numpy-aware) to its canonical form."""
+    return json.loads(json.dumps(value, sort_keys=True, default=json_default))
 
 
 @dataclass(frozen=True)
@@ -82,6 +121,13 @@ def payload_fingerprint(unit: WorkUnit) -> str:
     the unit still means the same thing (same kind, same payload) — a
     re-invocation with different parameters re-runs everything whose
     meaning changed.
+
+    The payload is canonicalised through :func:`canonical_json` — the
+    same JSON normalisation the pool applies to results — so payloads
+    carrying numpy scalars/arrays fingerprint instead of raising, and a
+    payload fingerprints identically before and after a JSON round trip
+    (a journal written by a live run replays for the resumed run even
+    when the resubmitted spec was parsed from disk).
     """
-    blob = json.dumps([unit.kind, unit.payload], sort_keys=True)
+    blob = canonical_json([unit.kind, unit.payload])
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

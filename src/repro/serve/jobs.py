@@ -1,0 +1,153 @@
+"""Job execution: compile validated specs onto the work-unit registry.
+
+Every job compiles to exactly one payload-complete ``serve-job`` work
+unit (:func:`compile_job`) whose executor, :func:`run_serve_job`,
+dispatches on the job kind and drives the existing subsystem serially
+inside the worker process — the pool supplies the concurrency, crash
+isolation and journal durability, so nested pools are never needed
+(pool workers are daemonic and cannot fork grandchildren).
+
+Each runner is a pure function of the job's canonical params, which is
+what makes results content-addressable: same fingerprint, same bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.orchestrate.units import WorkUnit
+from repro.serve.spec import SPEC_FORMAT, JobSpec, JobSpecError
+
+
+def compile_job(spec: JobSpec) -> WorkUnit:
+    """The single work unit executing ``spec`` (kind ``serve-job``)."""
+    return WorkUnit("serve-job", f"job:{spec.fingerprint()[:16]}",
+                    spec.payload())
+
+
+def build_plan_policy(params: dict):
+    """The :class:`~repro.core.policy.HybridPolicy` a plan job prices."""
+    from repro.core.policy import GistConfig, HybridPolicy
+
+    config = params["config"]
+    gist = (GistConfig.lossless() if config == "lossless"
+            else GistConfig.for_network(params["model"])
+            if config == "network" else GistConfig.full(config))
+    return HybridPolicy(strategy=params["strategy"],
+                        cost_budget_frac=params["budget"], gist=gist)
+
+
+def plan_job_graph(params: dict):
+    """Build (and optionally rewrite) the graph a plan job analyses."""
+    from repro.models import build_model
+
+    graph = build_model(params["model"], batch_size=params["batch_size"])
+    if params["rewrite"]:
+        from repro.rewrite import apply_passes
+
+        graph = apply_passes(graph).graph
+    return graph
+
+
+def _run_plan(params: dict) -> dict:
+    from repro.graph.fingerprint import graph_fingerprint
+    from repro.memory.hybrid import build_hybrid_plan
+
+    graph = plan_job_graph(params)
+    policy = build_plan_policy(params)
+    return {
+        "model": params["model"],
+        "batch_size": params["batch_size"],
+        "rewrite": params["rewrite"],
+        "graph_fingerprint": graph_fingerprint(graph),
+        "plan": build_hybrid_plan(graph, policy).summary_json(),
+    }
+
+
+def _run_train(params: dict) -> dict:
+    from repro.distributed import DistConfig, train_distributed
+
+    config = DistConfig(
+        model=params["model"],
+        batch_size=params["batch_size"],
+        num_shards=params["shards"],
+        replicas=1,  # inside a pool worker: shards run inline, in order
+        steps=params["steps"],
+        wire_codec=params["wire_codec"],
+        policy=params["policy"],
+        seed=params["seed"],
+        num_samples=params["num_samples"],
+    )
+    result = train_distributed(config)
+    return {
+        "model": params["model"],
+        "digest": result.digest(),
+        "losses": result.losses,
+        "total_wire_bytes": result.total_wire_bytes,
+        "wire_reduction": result.wire_reduction,
+    }
+
+
+def _run_fuzz(params: dict) -> dict:
+    from repro.verify import run_fuzz
+
+    report = run_fuzz(
+        params["seeds"],
+        start_seed=params["start_seed"],
+        max_ops=params["max_ops"],
+        strict=params["strict"],
+        rewrite_shapes=params["rewrite_shapes"],
+    )
+    return report.to_json()
+
+
+def _run_sweep(params: dict) -> dict:
+    from repro.experiments import run_sweep
+
+    return run_sweep(
+        params["drivers"],
+        models=params["models"],
+        batch_size=params["batch_size"],
+    )
+
+
+_RUNNERS = {
+    "plan": _run_plan,
+    "train": _run_train,
+    "fuzz": _run_fuzz,
+    "sweep": _run_sweep,
+}
+
+
+def run_serve_job(payload: dict) -> dict:
+    """Work-unit executor for kind ``serve-job`` (runs in any process)."""
+    if payload.get("format") != SPEC_FORMAT:
+        raise JobSpecError(
+            f"serve-job payload format {payload.get('format')!r} "
+            f"!= {SPEC_FORMAT}"
+        )
+    try:
+        runner = _RUNNERS[payload["kind"]]
+    except KeyError:
+        raise JobSpecError(
+            f"unknown serve-job kind {payload.get('kind')!r}; "
+            f"known: {sorted(_RUNNERS)}"
+        ) from None
+    return runner(payload["params"])
+
+
+def plan_cache_probe(spec: JobSpec) -> Optional[Tuple[dict, object]]:
+    """``(plan_cache_key, graph)`` for a plan job, else ``None``.
+
+    The service uses this to consult the content-addressed plan cache
+    *before* scheduling any pool work: the key is a pure function of
+    the (rewritten) graph's fingerprint plus strategy/budget/gist, so
+    isomorphic graphs requested under the same policy share one slot
+    regardless of which job spec asked.
+    """
+    if spec.kind != "plan":
+        return None
+    from repro.memory.hybrid import plan_cache_key
+
+    graph = plan_job_graph(spec.params)
+    return plan_cache_key(graph, build_plan_policy(spec.params)), graph

@@ -1,0 +1,321 @@
+"""The training-service daemon: a durable, cache-fronted job queue.
+
+:class:`JobService` owns one state directory:
+
+* ``queue.jsonl`` — submitted jobs, appended atomically
+  (:func:`repro.ioutil.append_jsonl_line`); a submission survives any
+  crash that happens after ``submit`` returns;
+* ``journal.jsonl`` — the :class:`~repro.orchestrate.journal.RunJournal`
+  the pool streams unit outcomes to; killing the daemon mid-run loses at
+  most the in-flight units, and the next pass resumes by fingerprint
+  replay with bit-identical results.  The serve loop compacts it each
+  pass so a long-lived daemon never replays an unbounded file;
+* ``cache/`` — the content-addressed :class:`~repro.serve.cache.ContentCache`
+  holding ``(job-fingerprint) -> result`` and
+  ``(graph-fingerprint, strategy, budget) -> plan`` entries.
+
+A scheduling pass (:meth:`JobService.run_pending`) drains the queue:
+duplicate submissions collapse onto one job, jobs whose result is
+already cached are answered without scheduling any pool work, plan jobs
+consult the plan cache next, and only the remainder is executed on the
+process pool.  Every fresh result is written back to the cache, so the
+heavy repeated-traffic pattern is served from disk after the first hit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ioutil import append_jsonl_line, atomic_write_text, read_jsonl
+from repro.orchestrate import RunJournal, run_units
+from repro.serve.cache import ContentCache, value_digest
+from repro.serve.jobs import compile_job, plan_cache_probe
+from repro.serve.spec import JobSpec, JobSpecError, validate_job_spec
+
+#: Stamped into queue records; bump on layout changes.
+QUEUE_FORMAT = 1
+
+
+def _result_cache_key(fingerprint: str) -> dict:
+    return {"kind": "job-result", "fingerprint": fingerprint}
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one (deduplicated) job in a scheduling pass."""
+
+    fingerprint: str
+    kind: str
+    name: str
+    status: str = "pending"  # "pending" | "ok" | "failed" | "invalid"
+    #: Where the result came from: "result-cache" / "plan-cache" /
+    #: "computed" (pool work was scheduled); None for failures.
+    source: Optional[str] = None
+    result: Optional[object] = None
+    #: SHA-256 over the canonical result JSON — the bit-identity handle
+    #: the durability tests pin across kill/resume and cache hits.
+    digest: Optional[str] = None
+    error: Optional[dict] = None
+    #: Queue entries that collapsed onto this job this pass.
+    submissions: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "name": self.name,
+            "status": self.status,
+            "source": self.source,
+            "digest": self.digest,
+            "error": self.error,
+            "submissions": self.submissions,
+        }
+
+
+@dataclass
+class ServeReport:
+    """Everything one scheduling pass did, JSON-serialisable."""
+
+    jobs: List[JobRecord] = field(default_factory=list)
+    #: Work units actually handed to the pool (0 on a fully warm pass).
+    scheduled: int = 0
+    result_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: ``(kept, dropped)`` from this pass's journal compaction.
+    compaction: Tuple[int, int] = (0, 0)
+
+    @property
+    def ok(self) -> bool:
+        return all(job.ok for job in self.jobs)
+
+    def to_json(self) -> dict:
+        return {
+            "jobs": [job.to_json() for job in self.jobs],
+            "scheduled": self.scheduled,
+            "result_cache_hits": self.result_cache_hits,
+            "plan_cache_hits": self.plan_cache_hits,
+            "cache": dict(self.cache_stats),
+            "journal_compaction": {"kept": self.compaction[0],
+                                   "dropped": self.compaction[1]},
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """Human-readable pass report (the serve CLI prints this)."""
+        lines = []
+        for job in self.jobs:
+            label = f" name={job.name}" if job.name else ""
+            if job.ok:
+                extra = f"source={job.source} digest={job.digest[:16]}"
+            else:
+                error = job.error or {}
+                extra = (f"{error.get('type', 'Error')}: "
+                         f"{error.get('message', '')}")
+            dupes = (f" (x{job.submissions} submissions)"
+                     if job.submissions > 1 else "")
+            lines.append(f"job {job.fingerprint[:16]} kind={job.kind}"
+                         f"{label} status={job.status} {extra}{dupes}")
+        failed = sum(1 for job in self.jobs if not job.ok)
+        lines.append(
+            f"jobs: {len(self.jobs) - failed} ok, {failed} failed | "
+            f"result-cache hits: {self.result_cache_hits} | "
+            f"plan-cache hits: {self.plan_cache_hits} | "
+            f"scheduled: {self.scheduled}"
+        )
+        stats = self.cache_stats
+        if stats:
+            lines.append(
+                f"cache: entries={stats.get('entries', 0)} "
+                f"hits={stats.get('hits', 0)} "
+                f"misses={stats.get('misses', 0)} "
+                f"corrupt={stats.get('corrupt', 0)}"
+            )
+        kept, dropped = self.compaction
+        lines.append(f"journal: {kept} record(s) after compaction "
+                     f"({dropped} dropped)")
+        return "\n".join(lines)
+
+
+class JobService:
+    """Durable job queue + cache + pool front end over one state dir."""
+
+    def __init__(self, state_dir, workers: int = 1,
+                 timeout_s: Optional[float] = None, retries: int = 1) -> None:
+        self.state_dir = Path(state_dir)
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.queue_path = self.state_dir / "queue.jsonl"
+        self.journal = RunJournal(self.state_dir / "journal.jsonl")
+        self.cache = ContentCache(self.state_dir / "cache")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec) -> str:
+        """Enqueue a job (spec mapping or :class:`JobSpec`); returns its
+        fingerprint.  The append is atomic and durable — a submission
+        that returned survives any later crash of the daemon."""
+        if not isinstance(spec, JobSpec):
+            spec = validate_job_spec(spec)
+        fingerprint = spec.fingerprint()
+        append_jsonl_line(self.queue_path, {
+            "format": QUEUE_FORMAT,
+            "fingerprint": fingerprint,
+            "name": spec.name,
+            "job": spec.payload(),
+        })
+        return fingerprint
+
+    def queued(self) -> List[dict]:
+        """Raw queue entries still awaiting a scheduling pass."""
+        return [record for record in read_jsonl(self.queue_path)
+                if record.get("format") == QUEUE_FORMAT]
+
+    def _drop_from_queue(self, fingerprints) -> None:
+        """Atomically rewrite the queue without the processed jobs."""
+        import json
+
+        remaining = [json.dumps(record, sort_keys=True)
+                     for record in read_jsonl(self.queue_path)
+                     if record.get("fingerprint") not in fingerprints]
+        atomic_write_text(self.queue_path,
+                          "".join(line + "\n" for line in remaining))
+
+    # ------------------------------------------------------------------
+    # Scheduling pass
+    # ------------------------------------------------------------------
+    def run_pending(self) -> ServeReport:
+        """Drain the queue once: dedupe, serve from cache, run the rest.
+
+        Crash-safe at every point: submissions stay queued until their
+        job reaches a terminal record, unit outcomes stream to the run
+        journal as they finalise, and results enter the content cache
+        before their queue entries are dropped.  Re-invoking after a
+        SIGKILL therefore resumes exactly where the pass stopped, with
+        results bit-identical to an uninterrupted run.
+        """
+        report = ServeReport(compaction=self.journal.compact())
+
+        # Dedupe submissions: same fingerprint == same job, whatever the
+        # label; later duplicates only bump the submission count.
+        jobs: Dict[str, JobRecord] = {}
+        specs: Dict[str, JobSpec] = {}
+        for entry in self.queued():
+            fingerprint = entry.get("fingerprint")
+            if fingerprint in jobs:
+                jobs[fingerprint].submissions += 1
+                continue
+            payload = entry.get("job") or {}
+            try:
+                spec = validate_job_spec({
+                    "kind": payload.get("kind"),
+                    "name": entry.get("name", ""),
+                    **payload.get("params", {}),
+                })
+            except JobSpecError as exc:
+                jobs[fingerprint] = JobRecord(
+                    fingerprint=str(fingerprint),
+                    kind=str(payload.get("kind")),
+                    name=str(entry.get("name", "")),
+                    status="invalid",
+                    error={"type": "JobSpecError", "message": str(exc)},
+                )
+                continue
+            specs[fingerprint] = spec
+            jobs[fingerprint] = JobRecord(fingerprint=fingerprint,
+                                          kind=spec.kind, name=spec.name)
+
+        # Cache consultation: results first, then plans (plan jobs only).
+        to_run: List[str] = []
+        plan_keys: Dict[str, dict] = {}
+        for fingerprint, spec in specs.items():
+            record = jobs[fingerprint]
+            cached = self.cache.get(_result_cache_key(fingerprint))
+            if cached is not None:
+                record.status, record.source = "ok", "result-cache"
+                record.result = cached
+                record.digest = value_digest(cached)
+                report.result_cache_hits += 1
+                continue
+            probe = plan_cache_probe(spec)
+            if probe is not None:
+                key, _graph = probe
+                plan_keys[fingerprint] = key
+                summary = self.cache.get(key)
+                if summary is not None:
+                    result = {
+                        "model": spec.params["model"],
+                        "batch_size": spec.params["batch_size"],
+                        "rewrite": spec.params["rewrite"],
+                        "graph_fingerprint": key["graph_fingerprint"],
+                        "plan": summary,
+                    }
+                    result = self.cache.put(_result_cache_key(fingerprint),
+                                            result)
+                    record.status, record.source = "ok", "plan-cache"
+                    record.result = result
+                    record.digest = value_digest(result)
+                    report.plan_cache_hits += 1
+                    continue
+            to_run.append(fingerprint)
+
+        # Pool execution of the cache misses, journaled for resume.
+        units = [compile_job(specs[fingerprint]) for fingerprint in to_run]
+        report.scheduled = len(units)
+        results = run_units(units, workers=self.workers,
+                            timeout_s=self.timeout_s, retries=self.retries,
+                            journal=self.journal) if units else {}
+        for fingerprint, unit in zip(to_run, units):
+            record = jobs[fingerprint]
+            outcome = results[unit.key]
+            if not outcome.ok:
+                record.status, record.error = "failed", outcome.error
+                continue
+            result = self.cache.put(_result_cache_key(fingerprint),
+                                    outcome.value)
+            key = plan_keys.get(fingerprint)
+            if key is not None and isinstance(result, dict):
+                self.cache.put(key, result["plan"])
+            record.status, record.source = "ok", "computed"
+            record.result = result
+            record.digest = value_digest(result)
+
+        self._drop_from_queue(set(jobs))
+        report.jobs = list(jobs.values())
+        report.cache_stats = self.cache.stats()
+        return report
+
+    # ------------------------------------------------------------------
+    def serve_forever(
+        self,
+        poll_s: float = 1.0,
+        max_polls: Optional[int] = None,
+        on_report: Optional[Callable[[ServeReport], None]] = None,
+    ) -> int:
+        """Daemon loop: drain the queue every ``poll_s`` seconds.
+
+        ``max_polls`` bounds the loop (tests and one-shot smoke runs);
+        ``on_report`` receives every pass that processed at least one
+        job.  Returns the count of failed jobs observed (0 == clean).
+        """
+        failures = 0
+        polls = 0
+        while max_polls is None or polls < max_polls:
+            polls += 1
+            report = self.run_pending()
+            if report.jobs:
+                failures += sum(1 for job in report.jobs if not job.ok)
+                if on_report is not None:
+                    on_report(report)
+            if max_polls is None or polls < max_polls:
+                time.sleep(poll_s)
+        return failures

@@ -1,0 +1,75 @@
+"""payload_fingerprint canonicalisation: numpy payloads, round trips.
+
+Regression tests for the durability bug where a work unit whose payload
+carried numpy scalars (e.g. an ``np.int64`` seed from a sweep config)
+raised ``TypeError`` at fingerprint time, and where a payload
+fingerprinted *differently* before and after the JSON round trip the
+pool applies — so a journaled unit could fail to replay on resume.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.orchestrate import WorkUnit
+from repro.orchestrate.units import canonical_json, normalise_json, payload_fingerprint
+
+
+def _fingerprint(payload):
+    return payload_fingerprint(WorkUnit("sleep", "k", payload))
+
+
+class TestNumpyPayloads:
+    def test_numpy_scalar_fingerprints(self):
+        # Pre-fix: json.dumps raised "Object of type int64 is not JSON
+        # serializable".
+        assert _fingerprint({"seed": np.int64(3)}) == _fingerprint({"seed": 3})
+
+    def test_numpy_float_scalar(self):
+        assert _fingerprint({"x": np.float64(0.5)}) == _fingerprint({"x": 0.5})
+
+    def test_numpy_array_fingerprints(self):
+        assert (_fingerprint({"shape": np.array([2, 3])})
+                == _fingerprint({"shape": [2, 3]}))
+
+    def test_zero_dim_array(self):
+        assert _fingerprint({"n": np.array(7)}) == _fingerprint({"n": 7})
+
+
+class TestRoundTripConsistency:
+    def test_fingerprint_stable_across_json_round_trip(self):
+        # The pool normalises results (and journal records) through a
+        # JSON round trip; the fingerprint must not move across it.
+        payload = {"tuple": (1, 2), "np": np.int32(5),
+                   "nested": {"a": [np.float32(0.25)]}}
+        round_tripped = json.loads(json.dumps(normalise_json(payload)))
+        assert _fingerprint(payload) == _fingerprint(round_tripped)
+
+    def test_key_order_irrelevant(self):
+        assert _fingerprint({"a": 1, "b": 2}) == _fingerprint({"b": 2, "a": 1})
+
+    def test_plain_payload_fingerprint_unchanged(self):
+        # Backwards compatibility: the fix must not invalidate journals
+        # written before it — plain JSON payloads keep their bytes.
+        unit = WorkUnit("sleep", "k", {"seconds": 0.1, "label": "x"})
+        blob = json.dumps([unit.kind, unit.payload], sort_keys=True)
+        import hashlib
+
+        assert payload_fingerprint(unit) == hashlib.sha256(
+            blob.encode("utf-8")).hexdigest()[:16]
+
+    def test_non_serialisable_still_rejected(self):
+        with pytest.raises(TypeError):
+            _fingerprint({"bad": object()})
+
+
+class TestCanonicalJson:
+    def test_canonical_equals_round_trip(self):
+        value = {"b": (1, 2), "a": np.int64(9)}
+        once = canonical_json(value)
+        assert canonical_json(json.loads(once)) == once
+
+    def test_normalise_converts_in_place_types(self):
+        out = normalise_json({"t": (1, 2), "np": np.array([1.5])})
+        assert out == {"t": [1, 2], "np": [1.5]}

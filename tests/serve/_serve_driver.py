@@ -1,0 +1,40 @@
+"""Standalone driver for the serve SIGKILL/resume durability test.
+
+Run as ``python _serve_driver.py STATE_DIR``: submits a fixed batch of
+fuzz jobs (slow enough to kill mid-pass) plus one plan job to the
+service at STATE_DIR and drains the queue once.  Prints one
+``JOB <fingerprint> <status> <source> <digest>`` line per job and
+``DONE`` on success.  The test kills this process mid-pass, re-invokes
+it with the same state dir, and checks that the resumed run produced
+bit-identical digests without re-running journaled jobs.
+"""
+
+import sys
+
+from repro.serve import JobService
+
+JOBS = [
+    {"kind": "fuzz", "seeds": 3, "start_seed": seed, "name": f"fuzz-{seed}"}
+    for seed in range(6)
+] + [
+    {"kind": "plan", "model": "tiny_cnn", "batch_size": 4, "name": "plan"},
+]
+
+
+def main(state_dir: str) -> int:
+    service = JobService(state_dir)
+    for job in JOBS:
+        service.submit(job)
+    report = service.run_pending()
+    for record in report.jobs:
+        print(f"JOB {record.fingerprint} {record.status} "
+              f"{record.source} {record.digest}")
+    if not report.ok:
+        return 1
+    print(f"SCHEDULED {report.scheduled}")
+    print("DONE")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

@@ -1,0 +1,77 @@
+"""Content-addressed cache: hits, misses, integrity, canonical values."""
+
+import json
+
+from repro.serve import ContentCache, content_address, value_digest
+
+
+def _entry_path(cache, key):
+    address = content_address(key)
+    return cache.root / address[:2] / f"{address}.json"
+
+
+class TestContentCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        key = {"kind": "job-result", "fingerprint": "abc"}
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
+                                 "corrupt": 0, "puts": 1}
+
+    def test_key_order_irrelevant(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        cache.put({"a": 1, "b": 2}, "value")
+        assert cache.get({"b": 2, "a": 1}) == "value"
+
+    def test_put_returns_canonical_value(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        stored = cache.put({"k": 1}, {"b": 2, "a": (1, 2)})
+        # Tuples become lists, exactly what a later get() serves.
+        assert stored == {"a": [1, 2], "b": 2}
+        assert cache.get({"k": 1}) == stored
+        assert value_digest(cache.get({"k": 1})) == value_digest(stored)
+
+    def test_corrupt_value_detected_and_recomputed(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        key = {"k": "v"}
+        cache.put(key, {"answer": 41})
+        path = _entry_path(cache, key)
+        # Flip the value without updating the integrity digest.
+        entry = json.loads(path.read_text())
+        entry["value"] = {"answer": 42}
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None  # detected, deleted, miss
+        assert cache.corrupt == 1
+        assert not path.exists()
+        # The caller recomputes and overwrites; the cache heals.
+        cache.put(key, {"answer": 41})
+        assert cache.get(key) == {"answer": 41}
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        key = {"k": "v"}
+        cache.put(key, [1, 2, 3])
+        path = _entry_path(cache, key)
+        path.write_text(path.read_text()[:20])  # torn write simulation
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_misfiled_entry_detected(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        cache.put({"k": "one"}, "a")
+        cache.put({"k": "two"}, "b")
+        one, two = _entry_path(cache, {"k": "one"}), _entry_path(cache, {"k": "two"})
+        two.write_text(one.read_text())  # entry stored under wrong address
+        assert cache.get({"k": "two"}) is None
+        assert cache.corrupt == 1
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ContentCache(tmp_path / "cache")
+        assert len(cache) == 0
+        for i in range(5):
+            cache.put({"i": i}, i)
+        assert len(cache) == 5
+        cache.put({"i": 0}, 0)  # overwrite, not a new entry
+        assert len(cache) == 5

@@ -1,0 +1,159 @@
+"""JobService: dedupe, cache hits, durability of queue state, reports."""
+
+import json
+
+import pytest
+
+from repro.serve import JobService, content_address
+
+
+def _plan_spec(**overrides):
+    spec = {"kind": "plan", "model": "tiny_cnn", "batch_size": 4}
+    spec.update(overrides)
+    return spec
+
+
+class TestSubmitAndQueue:
+    def test_submit_returns_fingerprint_and_queues(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        fingerprint = service.submit(_plan_spec())
+        assert len(fingerprint) == 64
+        (entry,) = service.queued()
+        assert entry["fingerprint"] == fingerprint
+        assert entry["job"]["kind"] == "plan"
+
+    def test_invalid_spec_raises(self, tmp_path):
+        from repro.serve import JobSpecError
+
+        service = JobService(tmp_path / "state")
+        with pytest.raises(JobSpecError):
+            service.submit({"kind": "plan", "oops": 1})
+
+
+class TestRunPending:
+    def test_duplicate_submissions_collapse_to_one_cache_entry(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        for name in ("a", "b", "c"):
+            service.submit(_plan_spec(name=name))
+        report = service.run_pending()
+        (job,) = report.jobs
+        assert job.ok
+        assert job.submissions == 3
+        assert report.scheduled == 1  # one unit for three submissions
+        # One result entry + one plan entry, never three.
+        result_entries = [
+            path for path in (tmp_path / "state" / "cache").glob("*/*.json")
+            if json.loads(path.read_text())["key"]["kind"] == "job-result"
+        ]
+        assert len(result_entries) == 1
+
+    def test_resubmission_served_from_cache_bit_identical(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec())
+        cold = service.run_pending()
+        assert cold.jobs[0].source == "computed"
+        hits_before = service.cache.hits
+
+        service.submit(_plan_spec(name="again"))
+        warm = service.run_pending()
+        (job,) = warm.jobs
+        assert job.source == "result-cache"
+        assert warm.scheduled == 0  # no pool work on the warm path
+        assert warm.result_cache_hits == 1
+        assert service.cache.hits == hits_before + 1
+        assert job.digest == cold.jobs[0].digest  # bit-identical
+        assert job.result == cold.jobs[0].result
+
+    def test_plan_cache_shared_across_isomorphic_requests(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec(name="first"))
+        service.run_pending()
+        # Same graph+policy under a *different job identity*: drop the
+        # result cache so the plan cache is the only warm layer.
+        for path in (tmp_path / "state" / "cache").glob("*/*.json"):
+            if json.loads(path.read_text())["key"]["kind"] == "job-result":
+                path.unlink()
+        service.submit(_plan_spec())
+        report = service.run_pending()
+        (job,) = report.jobs
+        assert job.ok
+        assert job.source == "plan-cache"
+        assert report.plan_cache_hits == 1
+        assert report.scheduled == 0
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        fingerprint = service.submit(_plan_spec())
+        cold = service.run_pending()
+        # Poison every cache entry (result + plan).
+        for path in (tmp_path / "state" / "cache").glob("*/*.json"):
+            entry = json.loads(path.read_text())
+            entry["value_sha256"] = "0" * 64
+            path.write_text(json.dumps(entry))
+        service.submit(_plan_spec())
+        report = service.run_pending()
+        (job,) = report.jobs
+        assert job.ok
+        assert job.source == "computed"  # fell all the way through
+        assert service.cache.corrupt >= 1
+        assert job.digest == cold.jobs[0].digest  # recomputed identically
+        # And the cache healed: next pass is a pure hit.
+        service.submit(_plan_spec())
+        healed = service.run_pending()
+        assert healed.jobs[0].source == "result-cache"
+        assert healed.jobs[0].digest == cold.jobs[0].digest
+
+    def test_failed_job_reported_nonfatal(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        # Valid spec whose execution fails: unknown model reaches the
+        # runner only if validation is bypassed, so instead enqueue a
+        # raw queue entry with a bad payload format.
+        from repro.ioutil import append_jsonl_line
+
+        append_jsonl_line(service.queue_path, {
+            "format": 1, "fingerprint": "f" * 64, "name": "bad",
+            "job": {"format": 1, "kind": "plan", "params": {"bogus": True}},
+        })
+        service.submit(_plan_spec())
+        report = service.run_pending()
+        assert not report.ok
+        by_status = {job.status for job in report.jobs}
+        assert by_status == {"invalid", "ok"}
+        assert service.queued() == []  # both drained
+
+    def test_queue_drained_and_new_submissions_survive(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec())
+        service.run_pending()
+        assert service.queued() == []
+
+    def test_compaction_runs_each_pass(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec())
+        service.run_pending()
+        service.submit(_plan_spec(batch_size=8))
+        report = service.run_pending()
+        kept, _dropped = report.compaction
+        assert kept == 1  # the plan job journaled by pass 1
+
+    def test_report_json_round_trips(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec())
+        report = service.run_pending()
+        blob = json.dumps(report.to_json(), sort_keys=True)
+        parsed = json.loads(blob)
+        assert parsed["ok"] is True
+        assert parsed["scheduled"] == 1
+        assert "entries" in parsed["cache"]
+
+
+class TestServeForever:
+    def test_bounded_polls_process_queue(self, tmp_path):
+        service = JobService(tmp_path / "state")
+        service.submit(_plan_spec())
+        reports = []
+        failures = service.serve_forever(poll_s=0.0, max_polls=2,
+                                         on_report=reports.append)
+        assert failures == 0
+        assert len(reports) == 1  # second poll saw an empty queue
+        assert reports[0].jobs[0].ok

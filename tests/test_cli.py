@@ -125,3 +125,80 @@ class TestCLIPlan:
     def test_plan_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             main(["plan", "scaled_vgg", "--strategy", "telepathy"])
+
+
+class TestCLIServe:
+    @staticmethod
+    def _spec_file(tmp_path, name="jobs.json", jobs=None):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(jobs if jobs is not None else [
+            {"kind": "plan", "model": "tiny_cnn", "batch_size": 4,
+             "name": "plan-a"},
+        ]))
+        return str(path)
+
+    def test_submit_then_serve_then_warm_resubmit(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        spec = self._spec_file(tmp_path)
+        assert main(["submit", spec, "--state", state]) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "kind=plan" in out
+
+        assert main(["serve", "--state", state, "--max-polls", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "source=computed" in out
+        assert "scheduled: 1" in out
+
+        # One-shot resubmission of the identical spec: pure cache hit.
+        assert main(["serve", "--state", state, "--jobs", spec]) == 0
+        out = capsys.readouterr().out
+        assert "source=result-cache" in out
+        assert "scheduled: 0" in out
+        assert "result-cache hits: 1" in out
+
+    def test_serve_oneshot_runs_batch(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        spec = self._spec_file(tmp_path, jobs=[
+            {"kind": "plan", "model": "tiny_cnn", "batch_size": 4},
+            {"kind": "fuzz", "seeds": 1},
+        ])
+        assert main(["serve", "--state", state, "--jobs", spec]) == 0
+        out = capsys.readouterr().out
+        assert out.count("status=ok") == 2
+
+    @pytest.mark.parametrize("argv", [
+        ["submit", "{missing}", "--state", "{state}"],
+        ["serve", "--state", "{state}", "--jobs", "{missing}"],
+        ["submit", "{invalid}", "--state", "{state}"],
+        ["serve", "--state", "{state}", "--jobs", "{invalid}"],
+    ])
+    def test_spec_errors_exit_2(self, tmp_path, capsys, argv):
+        import json
+
+        invalid = tmp_path / "bad.json"
+        invalid.write_text(json.dumps([{"kind": "plan", "bogus": 1}]))
+        fill = {"state": str(tmp_path / "state"),
+                "missing": str(tmp_path / "nope.yaml"),
+                "invalid": str(invalid)}
+        assert main([arg.format(**fill) for arg in argv]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_job_exits_1(self, tmp_path, capsys):
+        # A queue entry that validates at submit time cannot fail later
+        # by construction, so inject a malformed entry directly -- the
+        # daemon must drain it, report it, and exit non-zero.
+        import json
+
+        state = tmp_path / "state"
+        state.mkdir()
+        with open(state / "queue.jsonl", "w") as fh:
+            fh.write(json.dumps({
+                "format": 1, "fingerprint": "f" * 64, "name": "bad",
+                "job": {"format": 1, "kind": "plan",
+                        "params": {"bogus": True}},
+            }) + "\n")
+        assert main(["serve", "--state", str(state),
+                     "--max-polls", "1"]) == 1
+        assert "status=invalid" in capsys.readouterr().out
