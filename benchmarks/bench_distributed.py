@@ -62,9 +62,19 @@ PROBE_IMAGE_SIZE = {
     "nin": 96,
     "overfeat": 96,
     "inception": 224,
+    "densenet": 16,
 }
 DEFAULT_IMAGE_SIZE = 32
+#: Sequence models take sequence geometry instead of an image size.
+PROBE_SEQUENCE_KWARGS = {"seq_len": 8, "input_size": 16, "hidden_size": 16}
+SEQUENCE_MODELS = ("lstm", "rnn")
 SWEEP_CODECS = ("auto", "dpr-fp8")
+
+
+def _probe_kwargs(model: str) -> dict:
+    if model in SEQUENCE_MODELS:
+        return dict(PROBE_SEQUENCE_KWARGS)
+    return {"image_size": PROBE_IMAGE_SIZE.get(model, DEFAULT_IMAGE_SIZE)}
 
 
 def _bit_identity() -> dict:
@@ -88,13 +98,14 @@ def _bit_identity() -> dict:
 
 def _shard_gradients(model: str, seed: int = 0) -> dict:
     """One shard-sized backward pass -> real parameter gradients."""
-    image_size = PROBE_IMAGE_SIZE.get(model, DEFAULT_IMAGE_SIZE)
     graph = build_model(model, batch_size=2, num_classes=8,
-                        image_size=image_size)
+                        **_probe_kwargs(model))
     executor = GraphExecutor(graph, seed=seed)
-    _, channels, size, _ = graph.node(graph.input_id).output_shape
+    # Drawing over the graph's own input shape keeps the byte stream of
+    # every pre-existing rank-4 probe identical to before rank dispatch.
+    shape = graph.node(graph.input_id).output_shape
     rng = np.random.default_rng(seed)
-    x = rng.normal(0, 1, (2, channels, size, size)).astype(np.float32)
+    x = rng.normal(0, 1, shape).astype(np.float32)
     y = rng.integers(0, 8, 2).astype(np.int64)
     executor.forward(x, y, train=True)
     return executor.backward()
@@ -111,7 +122,7 @@ def _wire_sweep() -> list:
         )
         row = {
             "model": model,
-            "image_size": PROBE_IMAGE_SIZE.get(model, DEFAULT_IMAGE_SIZE),
+            "probe": _probe_kwargs(model),
             "fp32_bytes": int(fp32_bytes),
         }
         for name in SWEEP_CODECS:

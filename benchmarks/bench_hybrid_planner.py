@@ -1,8 +1,8 @@
 """Benchmark + dominance gate for the hybrid memory planner.
 
-For every model in the registry, builds the four planner arms (pure
-gist / pure recompute / pure swap / hybrid) under the same cost budget
-and gates on two properties per model:
+For every model in the registry, builds the five planner arms (pure
+gist / pure recompute / pure swap / pure shared-concat / hybrid) under
+the same cost budget and gates on two properties per model:
 
 * **dominance** — the hybrid plan's allocated footprint must be <= the
   best pure strategy's.  The planner's argmin fallback makes this
@@ -30,18 +30,20 @@ from repro.core.policy import (
     STRATEGY_GIST,
     STRATEGY_HYBRID,
     STRATEGY_RECOMPUTE,
+    STRATEGY_SHARED_CONCAT,
     STRATEGY_SWAP,
 )
 from repro.ioutil import atomic_write_json
 from repro.memory.hybrid import build_hybrid_plan
 from repro.models import available_models, build_model
-from repro.verify import check_hybrid_plan
+from repro.verify import check_hybrid_plan, check_shared_concat
 
 #: Keep the planner input tractable on the largest registry models.
 BATCH_SIZE = 32
 BUDGET_FRAC = 0.15
 
-PURE_STRATEGIES = (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP)
+PURE_STRATEGIES = (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP,
+                   STRATEGY_SHARED_CONCAT)
 
 
 def bench_model(name: str) -> dict:
@@ -50,7 +52,7 @@ def bench_model(name: str) -> dict:
         graph, HybridPolicy(strategy=STRATEGY_HYBRID,
                             cost_budget_frac=BUDGET_FRAC)
     )
-    violations = check_hybrid_plan(hybrid)
+    violations = check_hybrid_plan(hybrid) + check_shared_concat(hybrid)
     best_pure = min(hybrid.pure_footprints.values())
     row = {
         "model": name,

@@ -214,6 +214,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         journal=args.journal,
         timeout_s=args.timeout,
         rewrite_shapes=args.rewrite_shapes,
+        recurrent_shapes=args.recurrent_shapes,
     )
     print(f"seeds run:       {report.seeds_run}")
     print(f"graphs verified: {report.graphs_verified}")
@@ -235,6 +236,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             replay += " --strict"
         if args.rewrite_shapes:
             replay += " --rewrite-shapes"
+        if args.recurrent_shapes:
+            replay += " --recurrent-shapes"
         print(f"\nminimized repro ({len(report.minimized.nodes)} nodes, "
               f"replay with: {replay}):")
         print(report.minimized.summary())
@@ -573,6 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rewrite-shapes", action="store_true",
                    help="bias generation towards rewrite-pass trigger "
                         "motifs and verify each rewritten graph too")
+    p.add_argument("--recurrent-shapes", action="store_true",
+                   help="generate unrolled LSTM/RNN sequence graphs and "
+                        "run the recurrent-unroll oracle on each")
     _add_orchestration_arguments(p)
     p.set_defaults(func=cmd_fuzz)
 

@@ -26,11 +26,13 @@ from repro.dtypes import DPR_FORMATS
 STRATEGY_GIST = "gist"
 STRATEGY_RECOMPUTE = "recompute"
 STRATEGY_SWAP = "swap"
+STRATEGY_SHARED_CONCAT = "shared_concat"
 STRATEGY_HYBRID = "hybrid"
 HYBRID_STRATEGIES = (
     STRATEGY_GIST,
     STRATEGY_RECOMPUTE,
     STRATEGY_SWAP,
+    STRATEGY_SHARED_CONCAT,
     STRATEGY_HYBRID,
 )
 
@@ -147,8 +149,9 @@ class HybridPolicy:
 
     Attributes:
         strategy: ``"hybrid"`` considers all levers per tensor;
-            ``"gist"`` / ``"recompute"`` / ``"swap"`` restrict the planner
-            to a single lever (the pure arms the hybrid must beat).
+            ``"gist"`` / ``"recompute"`` / ``"swap"`` /
+            ``"shared_concat"`` restrict the planner to a single lever
+            (the pure arms the hybrid must beat).
         cost_budget_frac: Step-time overhead budget as a fraction of the
             baseline step (all strategies select under the same budget,
             which is what makes their footprints comparable).

@@ -47,6 +47,14 @@ GOLDEN_MODELS: Dict[str, Dict[str, int]] = {
         "batch_size": 8, "num_classes": 4, "image_size": 8, "width": 4,
     },
     "scaled_alexnet": {"batch_size": 8, "num_classes": 4, "image_size": 16},
+    "lstm": {
+        "batch_size": 8, "num_classes": 4, "seq_len": 6,
+        "input_size": 8, "hidden_size": 12,
+    },
+    "densenet": {
+        "batch_size": 8, "num_classes": 4, "image_size": 8,
+        "init_channels": 4, "growth": 4, "blocks": 2, "block_layers": 2,
+    },
 }
 
 #: The policy arms pinned as goldens in the conformance suite.
@@ -88,14 +96,23 @@ def golden_filename(model: str, policy: str) -> str:
 def golden_batches(
     model: str, steps: int, seed: int = 0
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """The pinned synthetic batch stream for a golden run."""
+    """The pinned synthetic batch stream for a golden run.
+
+    The input geometry follows the recipe's kwargs — ``image_size``
+    models draw (B, 3, S, S) images, ``seq_len`` models draw (B, T, F)
+    sequences — from the same RNG stream either way, so pre-existing
+    image goldens are byte-identical to before sequences existed.
+    """
     spec = GOLDEN_MODELS[model]
     rng = np.random.default_rng(seed + 1_000_003)
-    batch, side = spec["batch_size"], spec["image_size"]
-    classes = spec["num_classes"]
+    batch, classes = spec["batch_size"], spec["num_classes"]
+    if "seq_len" in spec:
+        shape = (batch, spec["seq_len"], spec["input_size"])
+    else:
+        shape = (batch, 3, spec["image_size"], spec["image_size"])
     return [
         (
-            rng.normal(0.0, 1.0, (batch, 3, side, side)).astype(np.float32),
+            rng.normal(0.0, 1.0, shape).astype(np.float32),
             rng.integers(0, classes, batch),
         )
         for _ in range(steps)

@@ -102,7 +102,7 @@ def run_replica_unit(payload: dict) -> dict:
     wire-encoded parameter gradients with measured bytes-on-wire.
     """
     from repro.models.registry import build_model
-    from repro.train.data import make_synthetic
+    from repro.train.data import make_synthetic_for
     from repro.train.executor import GraphExecutor
 
     seed = int(payload["seed"])
@@ -132,13 +132,12 @@ def run_replica_unit(payload: dict) -> dict:
 
     data = payload["data"]
     # The dataset's geometry comes from the graph itself (model kwargs
-    # like tiny_cnn's ``channels`` name conv widths, not input planes).
-    _, in_channels, in_size, _ = graph.node(graph.input_id).output_shape
-    train_set, _ = make_synthetic(
+    # like tiny_cnn's ``channels`` name conv widths, not input planes);
+    # rank dispatch picks images or sequences to match the input node.
+    train_set, _ = make_synthetic_for(
+        graph.node(graph.input_id).output_shape,
         num_samples=int(data["num_samples"]),
         num_classes=int(model_kwargs.get("num_classes", 4)),
-        image_size=int(in_size),
-        channels=int(in_channels),
         noise=float(data.get("noise", 0.6)),
         seed=int(data.get("data_seed", seed)),
     )

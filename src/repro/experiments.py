@@ -217,6 +217,71 @@ def figure17_dynamic(models: Optional[Sequence[str]] = None,
     return [_figure17_row(name, batch_size) for name in models or PAPER_SUITE]
 
 
+#: The replica counts the throughput sweep scales across.
+THROUGHPUT_REPLICAS: Sequence[int] = (1, 2, 4)
+
+#: One tiny config per workload family (convolutional, recurrent,
+#: densely-connected); the sweep is about scaling shape, not accuracy.
+THROUGHPUT_MODELS: Dict[str, dict] = {
+    "tiny_cnn": {"image_size": 8, "num_classes": 4},
+    "lstm": {"seq_len": 6, "input_size": 8, "hidden_size": 12,
+             "num_classes": 4},
+    "densenet": {"image_size": 8, "init_channels": 4, "growth": 4,
+                 "blocks": 2, "block_layers": 2, "num_classes": 4},
+}
+
+#: Gradient shards per step, fixed across the whole sweep: ``replicas``
+#: only changes scheduling, so every row of a model must produce the
+#: same run digest — the invariance each row carries for checking.
+_THROUGHPUT_SHARDS = 4
+
+
+def _throughput_row(model: str, replicas: int, steps: int = 3,
+                    batch_size: int = 16, seed: int = 0) -> dict:
+    import time
+
+    from repro.distributed import DistConfig, train_distributed
+
+    config = DistConfig(
+        model=model, batch_size=batch_size,
+        num_shards=_THROUGHPUT_SHARDS, replicas=replicas, steps=steps,
+        seed=seed, model_kwargs=dict(THROUGHPUT_MODELS.get(model, {})),
+    )
+    start = time.perf_counter()
+    result = train_distributed(config)
+    elapsed = time.perf_counter() - start
+    samples = steps * batch_size
+    return {
+        "model": model,
+        "replicas": int(replicas),
+        "steps": int(steps),
+        "batch_size": int(batch_size),
+        "samples": samples,
+        "elapsed_s": elapsed,
+        "samples_per_s": samples / elapsed,
+        "digest": result.digest(),
+    }
+
+
+def throughput_replicas(
+    models: Optional[Sequence[str]] = None,
+    replicas: Sequence[int] = THROUGHPUT_REPLICAS,
+) -> List[dict]:
+    """Samples/sec versus replica count for each workload family.
+
+    Returns one row per (model, replicas) pair.  Within a model, every
+    row's ``digest`` is identical — the shard count is pinned, so more
+    replicas may only change wall-clock, never bits.  ``samples_per_s``
+    is measured wall-clock throughput and so varies run to run; the
+    digest column is the deterministic part.
+    """
+    return [
+        _throughput_row(model, r)
+        for model in (models or list(THROUGHPUT_MODELS))
+        for r in replicas
+    ]
+
+
 def _breakdown_entry(name: str, batch_size: int) -> Dict[str, int]:
     graph = build_model(name, batch_size=batch_size)
     plan = build_memory_plan(graph, include_weights=True,
@@ -252,6 +317,8 @@ _UNIT_RUNNERS: Dict[str, Callable[[dict], object]] = {
         lambda p: _figure17_row(p["model"], p["batch_size"]),
     "baseline_memory_breakdown":
         lambda p: _breakdown_entry(p["model"], p["batch_size"]),
+    "throughput_replicas":
+        lambda p: _throughput_row(p["model"], p["replicas"]),
 }
 
 
@@ -335,6 +402,16 @@ SWEEP_DRIVERS: Dict[str, SweepDriver] = {d.name: d for d in (
                 ],
                 lambda units, values: list(values)),
     SweepDriver("figure17_dynamic", _per_model_units("figure17_dynamic"),
+                lambda units, values: list(values)),
+    SweepDriver("throughput_replicas",
+                lambda models, batch_size: [
+                    WorkUnit("experiment",
+                             f"throughput_replicas:{model}:{r}",
+                             {"driver": "throughput_replicas",
+                              "model": model, "replicas": int(r)})
+                    for model in THROUGHPUT_MODELS
+                    for r in THROUGHPUT_REPLICAS
+                ],
                 lambda units, values: list(values)),
 )}
 

@@ -44,6 +44,11 @@ class LiveTensor:
         shareable: Whether the allocator may place this tensor in a shared
             group.  The paper's *investigation baseline* switches this off
             for stashed feature maps.
+        alias_group: Label of a physical-aliasing set, or ``None``.
+            Tensors carrying the same label are views of one buffer (the
+            DenseNet shared-concat trick): the allocator co-locates them
+            in a single region sized by the largest member even though
+            their lifetimes overlap.
     """
 
     spec: TensorSpec
@@ -52,6 +57,7 @@ class LiveTensor:
     node_id: int
     role: str
     shareable: bool = True
+    alias_group: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.death < self.birth:

@@ -15,6 +15,14 @@ from repro.layers.loss import SoftmaxCrossEntropy
 from repro.layers.merge import Add, Concat
 from repro.layers.norm import BatchNorm2D, LocalResponseNorm
 from repro.layers.pool import ArgmaxMaxPool2D, AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.layers.recurrent import (
+    LSTMCell,
+    LSTMStep,
+    RNNCell,
+    RNNStep,
+    StateSlice,
+    TimeSlice,
+)
 from repro.layers.reshape import Flatten
 
 __all__ = [
@@ -30,13 +38,19 @@ __all__ = [
     "FusedConvReLU",
     "GlobalAvgPool2D",
     "InputLayer",
+    "LSTMCell",
+    "LSTMStep",
     "Layer",
     "LocalResponseNorm",
     "MaxPool2D",
     "OpContext",
     "ReLU",
+    "RNNCell",
+    "RNNStep",
     "Sigmoid",
     "SoftmaxCrossEntropy",
+    "StateSlice",
     "StateSpec",
     "Tanh",
+    "TimeSlice",
 ]

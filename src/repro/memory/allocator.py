@@ -37,6 +37,11 @@ class AllocationGroup:
     #: Whether new tensors may be added (False for dedicated groups that
     #: hold a single non-shareable tensor).
     open: bool = True
+    #: True for a physical-aliasing group (same ``alias_group`` label on
+    #: every member): the members are *views of one buffer*, so their
+    #: lifetimes may overlap — the region is still sized by the largest
+    #: member, which is exactly the shared-concat growing buffer.
+    aliased: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -107,6 +112,28 @@ class StaticAllocator:
         if any(t.death >= horizon for t in tensors):
             raise ValueError("allocation horizon shorter than tensor lifetimes")
 
+        share = self.policy != POLICY_NO_SHARING
+
+        # Physical-aliasing sets first: tensors labelled with the same
+        # alias_group are views of one buffer, so they form one region
+        # regardless of lifetime overlap.  Under the no-sharing ablation
+        # the label is ignored and every tensor gets dedicated space.
+        groups: List[AllocationGroup] = []
+        if share:
+            aliased: dict = {}
+            rest: List[LiveTensor] = []
+            for tensor in tensors:
+                label = tensor.alias_group
+                if label is not None and tensor.shareable:
+                    aliased.setdefault(label, []).append(tensor)
+                else:
+                    rest.append(tensor)
+            for label in sorted(aliased):
+                groups.append(
+                    AllocationGroup(aliased[label], open=False, aliased=True)
+                )
+            tensors = rest
+
         if self.policy == POLICY_GREEDY_SIZE:
             # Stable deterministic order: size descending, then name.
             order = sorted(
@@ -115,7 +142,6 @@ class StaticAllocator:
         else:
             order = tensors
 
-        groups: List[AllocationGroup] = []
         # For each *open* group, the member intervals as two parallel
         # sorted lists (births, deaths) — disjoint by construction, so an
         # overlap test is two bisects instead of an O(horizon) scan.
@@ -123,7 +149,6 @@ class StaticAllocator:
         births: List[List[int]] = []
         deaths: List[List[int]] = []
 
-        share = self.policy != POLICY_NO_SHARING
         for tensor in order:
             placed = False
             if share and tensor.shareable:

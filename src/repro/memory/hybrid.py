@@ -76,7 +76,12 @@ CHOICE_KEEP = "keep"
 CHOICE_GIST = "gist"
 CHOICE_RECOMPUTE = "recompute"
 CHOICE_SWAP = "swap"
-ALL_CHOICES = (CHOICE_KEEP, CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP)
+#: The DenseNet shared-concat-buffer arm: the map is a bit-exact channel
+#: prefix of a downstream concat chain's terminal, so its private stash
+#: is dropped and the backward read re-slices the terminal's kept buffer.
+CHOICE_SHARED_CONCAT = "shared_concat"
+ALL_CHOICES = (CHOICE_KEEP, CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP,
+               CHOICE_SHARED_CONCAT)
 
 #: Layer kinds that can never appear *inside* a recompute chain:
 #: re-running their forward pass is not deterministic and side-effect-free
@@ -110,6 +115,21 @@ class RecomputeDirective:
 
     source_id: int
     chain: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedConcatDirective:
+    """Runtime instruction: read a stash as a prefix of a concat terminal.
+
+    Attributes:
+        source_id: The concat chain's terminal node, whose stash is kept
+            bit-exact (the planner pins it to ``keep``).
+        channels: Leading axis-1 extent to slice: the member's value is
+            ``terminal[:, :channels]`` bit-exactly.
+    """
+
+    source_id: int
+    channels: int
 
 
 @dataclass(frozen=True)
@@ -181,6 +201,17 @@ class HybridPlan:
             nid: RecomputeDirective(d.source_id, d.chain)
             for nid, d in self.decisions.items()
             if d.choice == CHOICE_RECOMPUTE
+        }
+
+    def shared_concat_directives(self) -> Dict[int, SharedConcatDirective]:
+        """Executable directives for every shared-concat decision."""
+        return {
+            nid: SharedConcatDirective(
+                source_id=d.source_id,
+                channels=self.graph.node(nid).output_shape[1],
+            )
+            for nid, d in self.decisions.items()
+            if d.choice == CHOICE_SHARED_CONCAT
         }
 
     def bytes_by_choice(self) -> Dict[str, int]:
@@ -406,8 +437,9 @@ def _gist_option(node, stash_class, fp32_bytes, num_elements, cfg,
 
 def _candidate_options(
     graph, schedule, stash_infos, uses, cfg, sparsity_model, cost,
-    swap_stall,
+    swap_stall, concat_index=None,
 ) -> List[_Option]:
+    concat_index = concat_index or {}
     options: List[_Option] = []
     for node in graph.nodes:
         nid = node.node_id
@@ -459,6 +491,30 @@ def _candidate_options(
             cost_s=swap_cost,
             lossless=True,
         ))
+
+        # Shared concat buffer: this map is a bit-exact channel prefix of
+        # its chain terminal, so the private stash can be dropped and the
+        # backward read re-sliced out of the terminal's kept FP32 buffer.
+        # Requires the terminal to be stashed at runtime.
+        chain = concat_index.get(nid)
+        if chain is not None:
+            _, terminal_first_bwd, _ = uses[chain.terminal_id]
+            if terminal_first_bwd is not None:
+                options.append(_Option(
+                    node_id=nid,
+                    choice=CHOICE_SHARED_CONCAT,
+                    encoding=None,
+                    fp32_bytes=fp32_bytes,
+                    resident_bytes=0,
+                    decoded_bytes=fp32_bytes,
+                    # One bandwidth pass at backward: read the prefix out
+                    # of the terminal, write the contiguous staging copy.
+                    cost_s=cost.copy_time(2 * fp32_bytes)
+                    + cost.device.kernel_overhead,
+                    lossless=True,
+                    source_id=chain.terminal_id,
+                    chain=chain.path(nid),
+                ))
     return options
 
 
@@ -471,8 +527,10 @@ def _select(
     """Greedy budgeted selection: best bytes-per-second ratio first.
 
     At most one option per tensor; recompute sources are pinned to
-    value-exact choices (the lossy-ancestor guard); every accepted option
-    must fit the remaining budget.  Ties break deterministically on
+    value-exact choices (the lossy-ancestor guard); shared-concat
+    terminals are pinned to *keep* outright (their FP32 stash is the
+    shared buffer every member re-slices); every accepted option must fit
+    the remaining budget.  Ties break deterministically on
     (node id, choice).
     """
     eligible = [
@@ -488,9 +546,10 @@ def _select(
     )
     assigned: Dict[int, _Option] = {}
     pinned: set = set()
+    keep_pinned: set = set()
     spent = 0.0
     for option in eligible:
-        if option.node_id in assigned:
+        if option.node_id in assigned or option.node_id in keep_pinned:
             continue
         if (option.node_id in pinned
                 and option.choice not in SOURCE_COMPATIBLE_CHOICES):
@@ -500,12 +559,21 @@ def _select(
             if (source is not None
                     and source.choice not in SOURCE_COMPATIBLE_CHOICES):
                 continue
+        if option.choice == CHOICE_SHARED_CONCAT:
+            # The terminal must remain an untouched FP32 keep: any prior
+            # decision on it (even the value-exact swap, whose prefetch
+            # window is modeled for the terminal's own backward reads,
+            # not the members' earlier ones) forfeits the member option.
+            if option.source_id in assigned:
+                continue
         if spent + option.cost_s > budget_s + 1e-12:
             continue
         assigned[option.node_id] = option
         spent += option.cost_s
         if option.choice == CHOICE_RECOMPUTE:
             pinned.add(option.source_id)
+        elif option.choice == CHOICE_SHARED_CONCAT:
+            keep_pinned.add(option.source_id)
     return assigned, spent
 
 
@@ -584,6 +652,21 @@ def _apply_selection(
             )
             new_tensors.append(prefetch)
             prefetch_by_node[nid] = prefetch
+        elif option.choice == CHOICE_SHARED_CONCAT:
+            # The member's map aliases the terminal's growing buffer for
+            # its whole forward life; only the contiguous staging copy the
+            # backward pass reads from is new space.
+            fm.alias_group = f"concat:{option.source_id}"
+            new_tensors.append(
+                LiveTensor(
+                    TensorSpec(f"{node.name}.out.shared", node.output_shape,
+                               fm.spec.dtype, TensorCategory.FEATURE_MAP),
+                    birth=first_bwd,
+                    death=last_bwd,
+                    node_id=nid,
+                    role=ROLE_DECODED,
+                )
+            )
         elif option.choice == CHOICE_RECOMPUTE:
             new_tensors.append(
                 LiveTensor(
@@ -624,6 +707,19 @@ def _apply_selection(
             prefetch = prefetch_by_node[option.source_id]
             _, target_first_bwd, _ = uses[option.node_id]
             prefetch.birth = min(prefetch.birth, target_first_bwd)
+
+    # A shared-concat terminal's buffer is re-read by its members during
+    # *their* backward windows, which outlive the terminal's own (earlier
+    # forward nodes run backward later): extend the kept stash and pull it
+    # into the members' aliasing group so the allocator prices the whole
+    # chain as one terminal-sized region.
+    for option in assigned.values():
+        if option.choice != CHOICE_SHARED_CONCAT:
+            continue
+        terminal_fm = fm_by_node[option.source_id]
+        _, _, member_last_bwd = uses[option.node_id]
+        terminal_fm.death = max(terminal_fm.death, member_last_bwd)
+        terminal_fm.alias_group = f"concat:{option.source_id}"
 
     # Argmax maps for rewritten pools (the uses above were computed under
     # the rewrite, so the maps must be carried whether or not a binarize
@@ -695,9 +791,14 @@ def build_hybrid_plan(
         STRATEGY_GIST,
         STRATEGY_HYBRID,
         STRATEGY_RECOMPUTE,
+        STRATEGY_SHARED_CONCAT,
         STRATEGY_SWAP,
     )
     from repro.core.schedule_builder import _feature_map_uses
+    from repro.memory.shared_concat import (
+        find_concat_chains,
+        member_to_terminal,
+    )
     from repro.perf.cost import CostModel
 
     policy = policy or HybridPolicy()
@@ -717,8 +818,10 @@ def build_hybrid_plan(
         for node in graph.nodes
     }
     swap_stall = _swap_stall_fraction(graph, cost)
+    concat_index = member_to_terminal(find_concat_chains(graph))
     options = _candidate_options(graph, schedule, stash_infos, uses, cfg,
-                                 sparsity_model, cost, swap_stall)
+                                 sparsity_model, cost, swap_stall,
+                                 concat_index)
     baseline_allocated = StaticAllocator().allocate(
         build_memory_plan(graph, schedule).tensors
     ).total_bytes
@@ -727,7 +830,9 @@ def build_hybrid_plan(
         STRATEGY_GIST: {CHOICE_GIST},
         STRATEGY_RECOMPUTE: {CHOICE_RECOMPUTE},
         STRATEGY_SWAP: {CHOICE_SWAP},
-        STRATEGY_HYBRID: {CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP},
+        STRATEGY_SHARED_CONCAT: {CHOICE_SHARED_CONCAT},
+        STRATEGY_HYBRID: {CHOICE_GIST, CHOICE_RECOMPUTE, CHOICE_SWAP,
+                          CHOICE_SHARED_CONCAT},
     }
 
     def build_arm(allowed):
@@ -742,7 +847,8 @@ def build_hybrid_plan(
     if policy.strategy == STRATEGY_HYBRID:
         arms = {
             strategy: build_arm(choices_of[strategy])
-            for strategy in (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP)
+            for strategy in (STRATEGY_GIST, STRATEGY_RECOMPUTE,
+                             STRATEGY_SWAP, STRATEGY_SHARED_CONCAT)
         }
         pure_footprints = {s: arm[4] for s, arm in arms.items()}
         selected = build_arm(choices_of[STRATEGY_HYBRID])

@@ -1,0 +1,58 @@
+"""DenseNet-style model where concat outputs dominate memory.
+
+Each dense block is a chain of ``Conv -> ReLU -> Concat`` stages whose
+concat prepends the *previous* concat output (``inputs[0]``), so every
+intermediate concat is a bit-exact channel prefix of the block's final
+concat.  That is the structural invariant the shared-concat-buffer
+planner arm ("Memory-Efficient Implementation of DenseNets", PAPERS.md)
+exploits: the intermediate concats alias one growing buffer instead of
+each stashing a private copy.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def densenet(batch_size: int = 32, num_classes: int = 10,
+             image_size: int = 32, init_channels: int = 16,
+             growth: int = 12, blocks: int = 2,
+             block_layers: int = 3) -> Graph:
+    """Densely-connected CNN with shared-buffer-eligible concat chains.
+
+    ``blocks`` dense blocks of ``block_layers`` conv stages each; every
+    stage contributes ``growth`` channels and concatenates onto the
+    running block state.  Blocks are separated by a 1x1-conv + avg-pool
+    transition that halves both channels and resolution.
+    """
+    b = GraphBuilder("densenet", (batch_size, 3, image_size, image_size))
+    x = b.add(Conv2D(init_channels, 3, pad=1), b.input, name="stem")
+    channels = init_channels
+    for block in range(1, blocks + 1):
+        for stage in range(1, block_layers + 1):
+            tag = f"b{block}_l{stage}"
+            y = b.add(Conv2D(growth, 3, pad=1), x, name=f"conv_{tag}")
+            y = b.add(ReLU(), y, name=f"relu_{tag}")
+            # The running state goes FIRST so x is a channel prefix of
+            # the new concat -- the shared-buffer eligibility condition.
+            x = b.add(Concat(), [x, y], name=f"cat_{tag}")
+            channels += growth
+        if block < blocks:
+            channels = max(channels // 2, growth)
+            x = b.add(Conv2D(channels, 1), x, name=f"trans{block}_conv")
+            x = b.add(ReLU(), x, name=f"trans{block}_relu")
+            x = b.add(AvgPool2D(2, 2), x, name=f"trans{block}_pool")
+    x = b.add(GlobalAvgPool2D(), x, name="gap")
+    x = b.add(Dense(num_classes), x, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

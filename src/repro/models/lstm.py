@@ -1,0 +1,56 @@
+"""Unrolled LSTM/RNN sequence classifiers.
+
+The recurrence is unrolled at build time (see ``layers/recurrent.py``):
+the rank-3 input ``(batch, seq_len, input_size)`` is split into
+per-timestep slices, each fed through a step node sharing one weight
+cell, and the final hidden state drives a dense softmax head.  Every
+node is an ordinary static-graph op, so stash classification, the
+hybrid planner, and the rewrite passes all apply unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.layers import (
+    Dense,
+    LSTMCell,
+    LSTMStep,
+    RNNCell,
+    RNNStep,
+    SoftmaxCrossEntropy,
+    StateSlice,
+    TimeSlice,
+)
+
+
+def lstm(batch_size: int = 64, num_classes: int = 10, seq_len: int = 12,
+         input_size: int = 32, hidden_size: int = 64) -> Graph:
+    """Single-layer unrolled LSTM classifier over the last hidden state."""
+    b = GraphBuilder("lstm", (batch_size, seq_len, input_size))
+    cell = LSTMCell(input_size, hidden_size)
+    state = None
+    for t in range(seq_len):
+        x_t = b.add(TimeSlice(t, seq_len), b.input, name=f"x{t}")
+        inputs = [x_t] if state is None else [x_t, state]
+        state = b.add(LSTMStep(cell, t), inputs, name=f"step{t}")
+    h = b.add(StateSlice(hidden_size, "h"), state, name="hT")
+    x = b.add(Dense(num_classes), h, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()
+
+
+def rnn(batch_size: int = 64, num_classes: int = 10, seq_len: int = 12,
+        input_size: int = 32, hidden_size: int = 64) -> Graph:
+    """Single-layer unrolled tanh-RNN classifier over the last state."""
+    b = GraphBuilder("rnn", (batch_size, seq_len, input_size))
+    cell = RNNCell(input_size, hidden_size)
+    state = None
+    for t in range(seq_len):
+        x_t = b.add(TimeSlice(t, seq_len), b.input, name=f"x{t}")
+        inputs = [x_t] if state is None else [x_t, state]
+        state = b.add(RNNStep(cell, t), inputs, name=f"step{t}")
+    x = b.add(Dense(num_classes), state, name="fc")
+    x = b.add(SoftmaxCrossEntropy(), x, name="loss")
+    b.mark_output(x)
+    return b.build()

@@ -10,7 +10,9 @@ from typing import Callable, Dict, List
 
 from repro.graph import Graph
 from repro.models.alexnet import alexnet
+from repro.models.densenet import densenet
 from repro.models.inception import inception
+from repro.models.lstm import lstm, rnn
 from repro.models.nin import nin
 from repro.models.overfeat import overfeat
 from repro.models.resnet import resnet, resnet_cifar
@@ -32,6 +34,9 @@ _REGISTRY: Dict[str, ModelFactory] = {
     "tiny_cnn": tiny_cnn,
     "scaled_vgg": scaled_vgg,
     "scaled_alexnet": scaled_alexnet,
+    "lstm": lstm,
+    "rnn": rnn,
+    "densenet": densenet,
 }
 
 #: The paper's evaluation suite (Section V-A), in figure order.

@@ -1,6 +1,12 @@
 """NumPy training runtime: executor, stash policies, trainer, datasets."""
 
-from repro.train.data import Dataset, make_synthetic, minibatches
+from repro.train.data import (
+    Dataset,
+    make_synthetic,
+    make_synthetic_for,
+    make_synthetic_sequences,
+    minibatches,
+)
 from repro.train.executor import GraphExecutor
 from repro.train.metrics import accuracy, accuracy_loss
 from repro.train.optimizer import SGD
@@ -38,5 +44,7 @@ __all__ = [
     "accuracy_loss",
     "feature_map_elements",
     "make_synthetic",
+    "make_synthetic_for",
+    "make_synthetic_sequences",
     "minibatches",
 ]

@@ -1,4 +1,4 @@
-"""Synthetic image-classification datasets.
+"""Synthetic classification datasets (images and sequences).
 
 Substitution record (DESIGN.md §2): the paper trains on ImageNet; NumPy on
 CPU cannot.  The accuracy phenomena Figure 12 demonstrates — forward-pass
@@ -20,7 +20,8 @@ import numpy as np
 
 @dataclass(frozen=True)
 class Dataset:
-    """Images (N, C, H, W) float32 and integer labels (N,).
+    """Inputs (N, C, H, W) images or (N, T, F) sequences, float32, plus
+    integer labels (N,).
 
     ``num_classes`` is stored explicitly: inferring it from
     ``labels.max() + 1`` underreports whenever a split happens to miss
@@ -116,6 +117,95 @@ def make_synthetic(
         sample_split(max(num_samples // 4, num_classes),
                      np.random.default_rng(test_seq)),
     )
+
+
+def _smooth_sequence_template(
+    rng: np.random.Generator, seq_len: int, input_size: int, grid: int = 4
+) -> np.ndarray:
+    """A smooth random (T, F) pattern: coarse noise upsampled along time."""
+    coarse = rng.normal(0.0, 1.0, (grid, input_size))
+    src = np.linspace(0, grid - 1, seq_len)
+    i0 = np.floor(src).astype(int)
+    i1 = np.minimum(i0 + 1, grid - 1)
+    w = (src - i0)[:, None]
+    return (coarse[i0] * (1 - w) + coarse[i1] * w).astype(np.float32)
+
+
+def make_synthetic_sequences(
+    num_samples: int = 512,
+    num_classes: int = 4,
+    seq_len: int = 12,
+    input_size: int = 32,
+    noise: float = 0.6,
+    seed: int = 0,
+) -> Tuple[Dataset, Dataset]:
+    """Build (train, test) splits of a synthetic sequence task.
+
+    The recurrent analogue of :func:`make_synthetic`: each class is a
+    smooth random (T, F) template (coarse noise linearly upsampled along
+    time, so class identity is spread across the *whole* sequence and a
+    recurrent model must integrate over timesteps), and samples are
+    template plus per-element Gaussian noise.  Same child-stream
+    discipline: templates/train/test draw from independent streams, so
+    the test data does not depend on ``num_samples``.
+    """
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    template_seq, train_seq, test_seq = np.random.SeedSequence(seed).spawn(3)
+    template_rng = np.random.default_rng(template_seq)
+    templates = [
+        _smooth_sequence_template(template_rng, seq_len, input_size)
+        for _ in range(num_classes)
+    ]
+
+    def sample_split(n: int, rng: np.random.Generator) -> Dataset:
+        labels = np.concatenate([
+            rng.permutation(num_classes),
+            rng.integers(0, num_classes, n - num_classes),
+        ])
+        labels = rng.permutation(labels)
+        sequences = np.stack([templates[c] for c in labels])
+        sequences += rng.normal(0.0, noise, sequences.shape).astype(np.float32)
+        return Dataset(sequences.astype(np.float32), labels.astype(np.int64),
+                       num_classes=num_classes)
+
+    return (
+        sample_split(num_samples, np.random.default_rng(train_seq)),
+        sample_split(max(num_samples // 4, num_classes),
+                     np.random.default_rng(test_seq)),
+    )
+
+
+def make_synthetic_for(
+    input_shape: Tuple[int, ...],
+    num_samples: int = 512,
+    num_classes: int = 4,
+    noise: float = 0.6,
+    seed: int = 0,
+) -> Tuple[Dataset, Dataset]:
+    """Dispatch on a graph input shape: images for rank 4, sequences for
+    rank 3.
+
+    Passes identical arguments through, so rank-4 shapes produce
+    byte-identical data to calling :func:`make_synthetic` directly (the
+    invariant that keeps pre-existing golden digests stable).
+    """
+    if len(input_shape) == 4:
+        _, channels, size, size_w = input_shape
+        if size != size_w:
+            raise ValueError(f"non-square image input {input_shape}")
+        return make_synthetic(num_samples=num_samples,
+                              num_classes=num_classes, image_size=size,
+                              channels=channels, noise=noise, seed=seed)
+    if len(input_shape) == 3:
+        _, seq_len, input_size = input_shape
+        return make_synthetic_sequences(num_samples=num_samples,
+                                        num_classes=num_classes,
+                                        seq_len=seq_len,
+                                        input_size=input_size,
+                                        noise=noise, seed=seed)
+    raise ValueError(f"no synthetic task for rank-{len(input_shape)} "
+                     f"input {input_shape}")
 
 
 def minibatches(

@@ -181,6 +181,11 @@ class GraphExecutor:
         hook = getattr(self.policy, "recompute_directive", None)
         return None if hook is None else hook(node_id)
 
+    def _shared_concat_directive(self, node_id: int):
+        # Optional StashPolicy hook, same protocol caveat as above.
+        hook = getattr(self.policy, "shared_concat_directive", None)
+        return None if hook is None else hook(node_id)
+
     def stashed_value(self, node_id: int) -> np.ndarray:
         """Decode (with caching) the stashed feature map of ``node_id``."""
         checks = self._invariants
@@ -194,6 +199,9 @@ class GraphExecutor:
             directive = self._recompute_directive(node_id)
             if directive is not None:
                 return self._materialize_recompute(node_id, directive)
+            shared = self._shared_concat_directive(node_id)
+            if shared is not None:
+                return self._materialize_shared_concat(node_id, shared)
             name = self.graph.node(node_id).name
             raise KeyError(f"feature map of {name!r} was not stashed") from None
         tracer = self.tracer
@@ -359,12 +367,38 @@ class GraphExecutor:
         self._decoded[node_id] = x
         return x
 
+    def _materialize_shared_concat(self, node_id: int,
+                                   directive) -> np.ndarray:
+        """Rebuild a dropped stash as a prefix of its concat terminal.
+
+        ``np.concatenate`` copies its first argument to the front of the
+        result, so along an ``inputs[0]``-linked concat chain the
+        terminal's leading channels *are* the member's output, bit for
+        bit.  The contiguous staging copy is what the member's consumers
+        read in their backward ops; cached so the slice is cut at most
+        once per backward pass.
+        """
+        base = self.stashed_value(directive.source_id)
+        tracer = self.tracer
+        t0 = perf_counter() if tracer is not None else 0.0
+        value = np.ascontiguousarray(base[:, : directive.channels])
+        if tracer is not None:
+            tracer.record_decode(self.graph.node(node_id).name,
+                                 "shared-concat", value.nbytes,
+                                 perf_counter() - t0)
+        self._decoded[node_id] = value
+        return value
+
     def _maybe_stash(self, node: OpNode, y: np.ndarray) -> None:
         if not self._runtime_needs_stash(node):
             return
         if self._recompute_directive(node.node_id) is not None:
             # A hybrid recompute decision: the map is dropped after its
             # last forward use and rebuilt on demand in the backward pass.
+            return
+        if self._shared_concat_directive(node.node_id) is not None:
+            # A shared-concat decision: the map is a prefix of its chain
+            # terminal's kept stash and is re-sliced on demand.
             return
         encoding = self.policy.encoding_for(self.graph, node.node_id)
         encoding.bind_arena(self.arena if self.kernels_enabled else None)

@@ -41,7 +41,11 @@ from repro.graph.graph import Graph
 from repro.graph.node import OpNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.memory.hybrid import HybridPlan, RecomputeDirective
+    from repro.memory.hybrid import (
+        HybridPlan,
+        RecomputeDirective,
+        SharedConcatDirective,
+    )
 
 
 class StashPolicy(abc.ABC):
@@ -71,6 +75,20 @@ class StashPolicy(abc.ABC):
         When set, the executor skips stashing the node's output in the
         forward pass and re-executes the directive's chain on the first
         backward read instead.  Only :class:`HybridExecutionPolicy`
+        returns directives.
+        """
+        return None
+
+    def shared_concat_directive(
+        self, node_id: int
+    ) -> "Optional[SharedConcatDirective]":
+        """Prefix-read instruction for ``node_id``'s stash, or ``None``.
+
+        When set, the executor skips stashing the node's output and
+        instead re-slices the leading channels of the directive's concat
+        terminal on the first backward read (the DenseNet shared-buffer
+        trick — bit-exact because ``np.concatenate`` copies its first
+        argument to the front).  Only :class:`HybridExecutionPolicy`
         returns directives.
         """
         return None
@@ -206,6 +224,10 @@ class HybridExecutionPolicy(StashPolicy):
     * **recompute** decisions are *not stashed at all*: the executor
       queries :meth:`recompute_directive` and replays the forward chain
       from the directive's source on the first backward read;
+    * **shared_concat** decisions are not stashed either: the executor
+      queries :meth:`shared_concat_directive` and re-slices the leading
+      channels of the chain terminal's kept FP32 stash (bit-exact by the
+      concat prefix-copy property);
     * undecided stashes keep the FP32 identity baseline.
 
     With a lossless plan (the default :class:`~repro.core.policy.
@@ -231,6 +253,7 @@ class HybridExecutionPolicy(StashPolicy):
         )
         self._dpr = DPREncoding(dpr_dtype, cfg.rounding)
         self._directives = plan.recompute_directives()
+        self._shared = plan.shared_concat_directives()
         self._table: Dict[int, Encoding] = {}
         for node_id, decision in plan.decisions.items():
             if decision.choice == CHOICE_SWAP:
@@ -248,6 +271,9 @@ class HybridExecutionPolicy(StashPolicy):
 
     def recompute_directive(self, node_id: int):
         return self._directives.get(node_id)
+
+    def shared_concat_directive(self, node_id: int):
+        return self._shared.get(node_id)
 
     def describe(self) -> str:
         """Label: the plan policy's (``"hybrid"`` / ``"hybrid-<arm>"``)."""

@@ -20,7 +20,9 @@ from repro.verify.oracles import (
     ORACLE_HYBRID,
     ORACLE_PLAN_SAFETY,
     ORACLE_POLICY_BOUNDS,
+    ORACLE_RECURRENT,
     ORACLE_ROUNDTRIP,
+    ORACLE_SHARED_CONCAT,
     Violation,
     check_allocator_safety,
     check_decision_bytes,
@@ -28,7 +30,9 @@ from repro.verify.oracles import (
     check_measured_bytes,
     check_plan_safety,
     check_policy_bounds,
+    check_recurrent_unroll,
     check_roundtrip,
+    check_shared_concat,
     interval_clique_bound,
 )
 from repro.verify.distributed import ORACLE_DISTRIBUTED, check_distributed
@@ -55,7 +59,9 @@ __all__ = [
     "ORACLE_HYBRID",
     "ORACLE_PLAN_SAFETY",
     "ORACLE_POLICY_BOUNDS",
+    "ORACLE_RECURRENT",
     "ORACLE_ROUNDTRIP",
+    "ORACLE_SHARED_CONCAT",
     "Violation",
     "check_allocator_safety",
     "check_backend_agreement",
@@ -65,7 +71,9 @@ __all__ = [
     "check_measured_bytes",
     "check_plan_safety",
     "check_policy_bounds",
+    "check_recurrent_unroll",
     "check_roundtrip",
+    "check_shared_concat",
     "fuzz_graphs",
     "fuzz_work_units",
     "interval_clique_bound",

@@ -33,11 +33,17 @@ from repro.layers import (
     Flatten,
     GlobalAvgPool2D,
     LocalResponseNorm,
+    LSTMCell,
+    LSTMStep,
     MaxPool2D,
     ReLU,
+    RNNCell,
+    RNNStep,
     Sigmoid,
     SoftmaxCrossEntropy,
+    StateSlice,
     Tanh,
+    TimeSlice,
 )
 
 #: Default cap on generated op count (cheap enough for smoke batches).
@@ -58,7 +64,10 @@ class GraphFuzzer:
 
     # ------------------------------------------------------------------
     def graph(
-        self, max_ops: int = DEFAULT_MAX_OPS, rewrite_shapes: bool = False
+        self,
+        max_ops: int = DEFAULT_MAX_OPS,
+        rewrite_shapes: bool = False,
+        recurrent_shapes: bool = False,
     ) -> Graph:
         """Generate one graph with at most ``max_ops`` ops before the head.
 
@@ -71,8 +80,16 @@ class GraphFuzzer:
         immediately-consumed maps).  The flag draws from the RNG only
         inside its own branch, so the default decision stream — and every
         pinned default-mode seed — is byte-identical with it off.
+
+        ``recurrent_shapes`` switches to the sequence genre: a rank-3
+        input feeding an unrolled LSTM or RNN column (weight-tied steps,
+        time slices, a state slice) under a dense head.  The genre has
+        its own decision stream; the default genre never draws through
+        this branch, so default-mode seeds stay pinned.
         """
         rng = np.random.default_rng(self.seed)
+        if recurrent_shapes:
+            return self._recurrent_graph(rng, max_ops)
         batch = int(rng.choice([1, 2, 4, 8]))
         channels = int(rng.integers(1, 7))
         side = int(rng.choice([4, 6, 8, 12, 16]))
@@ -98,6 +115,48 @@ class GraphFuzzer:
                 x, used = self._single_op(b, x, rng)
             budget -= used
         x = self._head(b, x, rng, classes)
+        b.mark_output(x)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def _recurrent_graph(self, rng, max_ops: int) -> Graph:
+        """The sequence genre: an unrolled recurrent column plus head.
+
+        Every unrolled step costs 2 ops (time slice + step), so the
+        sequence length shrinks with ``max_ops`` — preserving the
+        minimizer's shrink-by-budget contract within the genre.
+        """
+        batch = int(rng.choice([1, 2, 4, 8]))
+        seq_len = int(rng.integers(2, 6))
+        input_size = int(rng.integers(2, 9))
+        hidden = int(rng.integers(3, 13))
+        classes = int(rng.integers(2, 9))
+        use_lstm = rng.random() < 0.5
+        seq_len = max(2, min(seq_len, max(1, int(max_ops)) // 2))
+
+        b = GraphBuilder(
+            f"fuzz_{self.seed}_seq", (batch, seq_len, input_size)
+        )
+        if use_lstm:
+            cell = LSTMCell(input_size, hidden)
+            step_of = lambda t: LSTMStep(cell, t)  # noqa: E731
+        else:
+            cell = RNNCell(input_size, hidden)
+            step_of = lambda t: RNNStep(cell, t)  # noqa: E731
+        state = None
+        for t in range(seq_len):
+            x_t = b.add(TimeSlice(t, seq_len), b.input, name=f"x{t}")
+            inputs = [x_t] if state is None else [x_t, state]
+            state = b.add(step_of(t), inputs, name=f"step{t}")
+        x = state
+        if use_lstm:
+            x = b.add(StateSlice(hidden, part="h"), x, name="hT")
+        if rng.random() < 0.4:
+            x = b.add(Tanh() if rng.random() < 0.5 else ReLU(), x)
+        if rng.random() < 0.3:
+            x = b.add(Dropout(p=0.3, seed=int(rng.integers(0, 1 << 16))), x)
+        x = b.add(Dense(classes), x)
+        x = b.add(SoftmaxCrossEntropy(), x)
         b.mark_output(x)
         return b.build()
 

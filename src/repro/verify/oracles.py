@@ -53,6 +53,8 @@ ORACLE_DECISION_BYTES = "decision-bytes"
 ORACLE_ROUNDTRIP = "encoding-roundtrip"
 ORACLE_HYBRID = "hybrid-plan"
 ORACLE_REWRITE = "rewrite-equivalence"
+ORACLE_SHARED_CONCAT = "shared-concat"
+ORACLE_RECURRENT = "recurrent-unroll"
 
 
 @dataclass(frozen=True)
@@ -79,11 +81,26 @@ def check_allocator_safety(
     """No two live-overlapping tensors may share an AllocationGroup.
 
     Also checks coverage (every input tensor landed in exactly one group)
-    and that non-shareable tensors received dedicated groups.
+    and that non-shareable tensors received dedicated groups.  Groups
+    marked ``aliased`` are exempt from the overlap check — their members
+    are declared views of one buffer — but every member must then carry
+    the group's single ``alias_group`` label, so a stray tensor can never
+    ride along.
     """
     violations: List[Violation] = []
     seen: Dict[str, int] = {}
     for gi, group in enumerate(result.groups):
+        if getattr(group, "aliased", False):
+            labels = {t.alias_group for t in group.members}
+            if len(labels) != 1 or None in labels:
+                violations.append(Violation(
+                    ORACLE_ALLOCATOR_SAFETY,
+                    f"aliased group {gi} ({result.policy}) mixes alias "
+                    f"labels {sorted(map(str, labels))}",
+                ))
+            for t in group.members:
+                seen[t.spec.name] = seen.get(t.spec.name, 0) + 1
+            continue
         members = sorted(group.members, key=lambda t: (t.birth, t.death))
         for prev, cur in zip(members, members[1:]):
             if cur.birth <= prev.death:  # intervals are inclusive
@@ -94,6 +111,12 @@ def check_allocator_safety(
                     f"{cur.spec.name!r} [{cur.birth},{cur.death}]",
                 ))
         for t in group.members:
+            if t.alias_group is not None and len(group.members) > 1:
+                violations.append(Violation(
+                    ORACLE_ALLOCATOR_SAFETY,
+                    f"alias-labelled tensor {t.spec.name!r} placed in "
+                    f"ordinary shared group {gi}",
+                ))
             if not t.shareable and len(group.members) > 1:
                 violations.append(Violation(
                     ORACLE_ALLOCATOR_SAFETY,
@@ -593,7 +616,8 @@ def check_hybrid_plan(hybrid_plan) -> List[Violation]:
         name = t.spec.name
         if t.role == ROLE_FEATURE_MAP and name.endswith(".out"):
             fm[t.node_id] = t
-        elif name.endswith((".out.enc", ".out.prefetch", ".out.recomp")):
+        elif name.endswith((".out.enc", ".out.prefetch", ".out.recomp",
+                            ".out.shared")):
             replacement[t.node_id] = t
 
     for node in graph.nodes:
@@ -722,6 +746,221 @@ def check_hybrid_plan(hybrid_plan) -> List[Violation]:
                 f"[{live.birth},{live.death}] is not live at the target's "
                 f"first backward read {target_first_bwd}",
             ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (f) Shared-concat chains
+# ----------------------------------------------------------------------
+def check_shared_concat(hybrid_plan) -> List[Violation]:
+    """Structural safety of shared-concat decisions in a hybrid plan.
+
+    The runtime read is ``terminal_stash[:, :channels]``, so each
+    decision is sound iff, per decision:
+
+    * the recorded chain runs from the member to its terminal over
+      axis-1 concats, each linked through the next concat's **first**
+      input (the ``np.concatenate`` prefix-copy condition) with strictly
+      growing channel counts and identical non-channel dims;
+    * the terminal carries **no** decision of its own (its FP32 stash is
+      kept untouched — the buffer every member re-slices);
+    * the terminal's feature map is live through the member's last
+      backward read, and both maps carry the chain's alias-group label
+      (what makes the allocator price the chain as one region).
+    """
+    from repro.memory.hybrid import CHOICE_SHARED_CONCAT
+
+    graph, schedule = hybrid_plan.graph, hybrid_plan.schedule
+    pools_rewritten = hybrid_plan.policy.gist.binarize
+    violations: List[Violation] = []
+    fm: Dict[int, LiveTensor] = {
+        t.node_id: t for t in hybrid_plan.plan.tensors
+        if t.role == ROLE_FEATURE_MAP and t.spec.name.endswith(".out")
+    }
+
+    for decision in hybrid_plan.decisions.values():
+        if decision.choice != CHOICE_SHARED_CONCAT:
+            continue
+        name = decision.node_name
+        chain = decision.chain
+        if (not chain or chain[0] != decision.node_id
+                or chain[-1] != decision.source_id):
+            violations.append(Violation(
+                ORACLE_SHARED_CONCAT,
+                f"{name}: chain {chain} does not run from the member "
+                f"{decision.node_id} to the terminal {decision.source_id}",
+            ))
+            continue
+        ok = True
+        for prev_id, cur_id in zip(chain, chain[1:]):
+            prev, cur = graph.node(prev_id), graph.node(cur_id)
+            for link in (prev, cur):
+                if link.kind != "concat":
+                    violations.append(Violation(
+                        ORACLE_SHARED_CONCAT,
+                        f"{name}: chain member {link.name!r} is a "
+                        f"{link.kind!r} op, not a concat",
+                    ))
+                    ok = False
+            if not ok:
+                break
+            if cur.inputs[0] != prev_id:
+                violations.append(Violation(
+                    ORACLE_SHARED_CONCAT,
+                    f"{name}: {cur.name!r} extends {prev.name!r} at input "
+                    f"position {list(cur.inputs).index(prev_id) if prev_id in cur.inputs else '?'}, "
+                    f"not position 0 — the prefix-copy property does not hold",
+                ))
+                ok = False
+                break
+            if cur.output_shape[1] <= prev.output_shape[1]:
+                violations.append(Violation(
+                    ORACLE_SHARED_CONCAT,
+                    f"{name}: channels do not grow along the chain "
+                    f"({prev.name!r} {prev.output_shape[1]} -> "
+                    f"{cur.name!r} {cur.output_shape[1]})",
+                ))
+                ok = False
+                break
+            if (prev.output_shape[:1] + prev.output_shape[2:]
+                    != cur.output_shape[:1] + cur.output_shape[2:]):
+                violations.append(Violation(
+                    ORACLE_SHARED_CONCAT,
+                    f"{name}: non-channel dims differ along the chain "
+                    f"({prev.output_shape} vs {cur.output_shape})",
+                ))
+                ok = False
+                break
+        if not ok:
+            continue
+        terminal = hybrid_plan.decisions.get(decision.source_id)
+        if terminal is not None:
+            violations.append(Violation(
+                ORACLE_SHARED_CONCAT,
+                f"{name}: terminal {terminal.node_name!r} carries a "
+                f"{terminal.choice} decision — the shared buffer must be "
+                f"an untouched FP32 keep",
+            ))
+        _, _, member_last_bwd = _independent_uses(
+            graph, schedule, decision.node_id, pools_rewritten
+        )
+        terminal_fm = fm.get(decision.source_id)
+        member_fm = fm.get(decision.node_id)
+        if terminal_fm is None or member_fm is None:
+            violations.append(Violation(
+                ORACLE_SHARED_CONCAT,
+                f"{name}: member or terminal feature map missing from plan",
+            ))
+            continue
+        if member_last_bwd is not None and terminal_fm.death < member_last_bwd:
+            violations.append(Violation(
+                ORACLE_SHARED_CONCAT,
+                f"{name}: terminal stash {terminal_fm.spec.name!r} dies at "
+                f"{terminal_fm.death}, before the member's last backward "
+                f"read at {member_last_bwd}",
+            ))
+        label = f"concat:{decision.source_id}"
+        for t in (member_fm, terminal_fm):
+            if t.alias_group != label:
+                violations.append(Violation(
+                    ORACLE_SHARED_CONCAT,
+                    f"{name}: {t.spec.name!r} carries alias label "
+                    f"{t.alias_group!r}, expected {label!r}",
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# (g) Recurrent unrolling / weight tying
+# ----------------------------------------------------------------------
+def check_recurrent_unroll(graph, executor=None) -> List[Violation]:
+    """Weight-tying and unrolling invariants of recurrent step columns.
+
+    Step nodes sharing one cell object must form a well-ordered unrolled
+    column: exactly one parameter owner at ``t == 0``, unique timesteps,
+    every ``t > 0`` step chained (via its state input) to the same cell's
+    ``t - 1`` step, and cell dimensions consistent across the column.
+    With an ``executor``, additionally verifies the tie is *physical*:
+    each step's runtime parameter arrays must be the owner's very ndarray
+    objects, not equal copies (copies would silently untie the weights
+    after the first optimiser update).
+    """
+    violations: List[Violation] = []
+    columns: Dict[int, List] = {}
+    for node in graph.nodes:
+        if node.kind not in ("lstm_step", "rnn_step"):
+            continue
+        columns.setdefault(id(node.layer.cell), []).append(node)
+
+    for nodes in sorted(columns.values(), key=lambda ns: ns[0].node_id):
+        cell = nodes[0].layer.cell
+        label = f"cell of {nodes[0].name!r}"
+        owners = [n for n in nodes if n.layer.owns_params]
+        if len(owners) != 1:
+            violations.append(Violation(
+                ORACLE_RECURRENT,
+                f"{label}: {len(owners)} parameter owners (expected "
+                f"exactly one t=0 step)",
+            ))
+        steps = {}
+        for n in nodes:
+            t = n.layer.t
+            if t in steps:
+                violations.append(Violation(
+                    ORACLE_RECURRENT,
+                    f"{label}: duplicate timestep t={t} "
+                    f"({steps[t].name!r} and {n.name!r})",
+                ))
+            steps[t] = n
+            if (n.layer.input_size != cell.input_size
+                    or n.layer.hidden_size != cell.hidden_size):
+                violations.append(Violation(
+                    ORACLE_RECURRENT,
+                    f"{n.name!r}: step dims ({n.layer.input_size}, "
+                    f"{n.layer.hidden_size}) disagree with the shared "
+                    f"cell ({cell.input_size}, {cell.hidden_size})",
+                ))
+            if n.layer.t == 0:
+                if len(n.inputs) != 1:
+                    violations.append(Violation(
+                        ORACLE_RECURRENT,
+                        f"{n.name!r}: t=0 step has {len(n.inputs)} inputs "
+                        f"(expected 1: the initial state is implicit zero)",
+                    ))
+                continue
+            if len(n.inputs) != 2:
+                violations.append(Violation(
+                    ORACLE_RECURRENT,
+                    f"{n.name!r}: t={n.layer.t} step has {len(n.inputs)} "
+                    f"inputs (expected [x_t, state])",
+                ))
+                continue
+            state_producer = graph.node(n.inputs[1])
+            prev_layer = state_producer.layer
+            if (state_producer.kind not in ("lstm_step", "rnn_step")
+                    or prev_layer.cell is not cell
+                    or prev_layer.t != n.layer.t - 1):
+                violations.append(Violation(
+                    ORACLE_RECURRENT,
+                    f"{n.name!r}: state input comes from "
+                    f"{state_producer.name!r}, not the same cell's "
+                    f"t={n.layer.t - 1} step",
+                ))
+        if executor is None or not owners:
+            continue
+        owner = owners[0]
+        owner_params = executor.params[owner.node_id]
+        for n in nodes:
+            if n is owner:
+                continue
+            for pname, arr in executor.params[n.node_id].items():
+                tied = owner_params.get(pname)
+                if tied is None or arr is not tied:
+                    violations.append(Violation(
+                        ORACLE_RECURRENT,
+                        f"{n.name!r}: parameter {pname!r} is not the "
+                        f"owner's array object — the weights are untied",
+                    ))
     return violations
 
 

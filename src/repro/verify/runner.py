@@ -20,6 +20,12 @@ encoding-roundtrip     lossless codecs bit-exact, lossy codecs within
                        declared bounds, on adversarial inputs
 hybrid-plan            hybrid planner budget/dominance/chain/liveness
                        safety; hybrid footprint <= every pure arm
+shared-concat          every shared-concat decision re-slices a kept
+                       concat terminal along a prefix-linked chain
+                       that stays live and alias-labelled
+recurrent-unroll       weight-tied step columns are well-ordered (one
+                       t=0 owner, chained states, physically shared
+                       parameter arrays)
 rewrite-equivalence    the rewrite passes (fusion / pool-argmax / CSE /
                        dead-stash / inplace) leave per-step losses and
                        every surviving gradient bit-identical under the
@@ -78,7 +84,9 @@ from repro.verify.oracles import (
     check_measured_bytes,
     check_plan_safety,
     check_policy_bounds,
+    check_recurrent_unroll,
     check_roundtrip,
+    check_shared_concat,
     interval_clique_bound,
 )
 
@@ -238,11 +246,49 @@ def verify_graph(
         Violation(v.oracle, v.detail, seed, "hybrid")
         for v in check_hybrid_plan(hybrid)
     ]
+    violations += [
+        Violation(v.oracle, v.detail, seed, "hybrid")
+        for v in check_shared_concat(hybrid)
+    ]
     hybrid_result = StaticAllocator().allocate(hybrid.plan.tensors)
     violations += [
         Violation(v.oracle, v.detail, seed, "hybrid")
         for v in check_allocator_safety(hybrid_result, hybrid.plan.tensors)
     ]
+
+    # (e') pure shared-concat arm, when the graph has a concat chain at
+    # all: the arm concentrates every chain decision in one plan, which
+    # is where a prefix-linkage or alias-labelling bug would surface.
+    from repro.core.policy import STRATEGY_SHARED_CONCAT, HybridPolicy
+    from repro.memory.shared_concat import find_concat_chains
+
+    if find_concat_chains(graph):
+        arm = build_hybrid_plan(
+            graph, HybridPolicy(strategy=STRATEGY_SHARED_CONCAT),
+            schedule=schedule,
+        )
+        for checker in (check_hybrid_plan, check_shared_concat):
+            violations += [
+                Violation(v.oracle, v.detail, seed, "shared-concat-arm")
+                for v in checker(arm)
+            ]
+        arm_result = StaticAllocator().allocate(arm.plan.tensors)
+        violations += [
+            Violation(v.oracle, v.detail, seed, "shared-concat-arm")
+            for v in check_allocator_safety(arm_result, arm.plan.tensors)
+        ]
+
+    # (e'') recurrent unrolling: weight-tying structure, and — because a
+    # tie that is merely value-equal would silently break on the first
+    # optimiser step — the executor's physical parameter sharing.
+    if any(n.kind in ("lstm_step", "rnn_step") for n in graph.nodes):
+        from repro.train.executor import GraphExecutor
+
+        executor = GraphExecutor(graph, seed=(seed or 0))
+        violations += [
+            Violation(v.oracle, v.detail, seed, "recurrent")
+            for v in check_recurrent_unroll(graph, executor)
+        ]
 
     # (f) rewrite equivalence: the rewrite passes applied to this graph
     # must train bit-identically under every lossless policy (no-op when
@@ -256,7 +302,7 @@ def verify_graph(
 
 def verify_seed(
     seed: int, max_ops: int = DEFAULT_MAX_OPS, strict: bool = False,
-    rewrite_shapes: bool = False,
+    rewrite_shapes: bool = False, recurrent_shapes: bool = False,
 ) -> List[Violation]:
     """Full oracle battery for one seed: fuzzed graph, codec round-trips
     and kernel-backend agreement on shared randomized inputs.
@@ -265,9 +311,14 @@ def verify_seed(
     triggers and additionally runs the whole plan/allocator battery on
     the *rewritten* graph (rewriting must not manufacture an unsafe
     plan), on top of the rewrite-equivalence oracle every graph gets.
+
+    ``recurrent_shapes`` switches the fuzzer to its sequence genre
+    (unrolled LSTM/RNN columns), which routes every seed through the
+    recurrent-unroll oracle as well.
     """
     graph = GraphFuzzer(seed).graph(max_ops=max_ops,
-                                    rewrite_shapes=rewrite_shapes)
+                                    rewrite_shapes=rewrite_shapes,
+                                    recurrent_shapes=recurrent_shapes)
     violations = verify_graph(graph, seed, strict=strict)
     if rewrite_shapes:
         from repro.rewrite import apply_passes
@@ -284,7 +335,8 @@ def verify_seed(
 
 
 def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
-             strict: bool = False, rewrite_shapes: bool = False):
+             strict: bool = False, rewrite_shapes: bool = False,
+             recurrent_shapes: bool = False):
     """Smallest reproduction of a failing seed.
 
     Replays the same seed at growing ``max_ops`` (the fuzzer's decision
@@ -295,14 +347,17 @@ def minimize(seed: int, max_ops: int = DEFAULT_MAX_OPS,
     """
     for k in range(1, max_ops + 1):
         graph = GraphFuzzer(seed).graph(max_ops=k,
-                                        rewrite_shapes=rewrite_shapes)
+                                        rewrite_shapes=rewrite_shapes,
+                                        recurrent_shapes=recurrent_shapes)
         violations = verify_graph(graph, seed, strict=strict)
         if violations:
             return graph, violations
     graph = GraphFuzzer(seed).graph(max_ops=max_ops,
-                                    rewrite_shapes=rewrite_shapes)
+                                    rewrite_shapes=rewrite_shapes,
+                                    recurrent_shapes=recurrent_shapes)
     return graph, verify_seed(seed, max_ops, strict=strict,
-                              rewrite_shapes=rewrite_shapes)
+                              rewrite_shapes=rewrite_shapes,
+                              recurrent_shapes=recurrent_shapes)
 
 
 def fuzz_work_units(
@@ -310,6 +365,7 @@ def fuzz_work_units(
     max_ops: int = DEFAULT_MAX_OPS,
     strict: bool = False,
     rewrite_shapes: bool = False,
+    recurrent_shapes: bool = False,
 ) -> List["WorkUnit"]:
     """One payload-complete work unit per seed (kind ``fuzz-seed``)."""
     from repro.orchestrate import WorkUnit
@@ -318,7 +374,8 @@ def fuzz_work_units(
         WorkUnit("fuzz-seed", f"seed:{seed}",
                  {"seed": int(seed), "max_ops": int(max_ops),
                   "strict": bool(strict),
-                  "rewrite_shapes": bool(rewrite_shapes)})
+                  "rewrite_shapes": bool(rewrite_shapes),
+                  "recurrent_shapes": bool(recurrent_shapes)})
         for seed in seed_list
     ]
 
@@ -327,10 +384,12 @@ def run_fuzz_unit(payload: dict) -> dict:
     """Work-unit executor for kind ``fuzz-seed`` (runs in any process)."""
     violations = verify_seed(payload["seed"], payload["max_ops"],
                              strict=payload["strict"],
-                             # .get: journals written before the rewrite
-                             # layer existed replay as default-mode seeds.
+                             # .get: journals written before these genres
+                             # existed replay as default-mode seeds.
                              rewrite_shapes=payload.get("rewrite_shapes",
-                                                        False))
+                                                        False),
+                             recurrent_shapes=payload.get("recurrent_shapes",
+                                                          False))
     return {"seed": payload["seed"],
             "violations": [asdict(v) for v in violations]}
 
@@ -388,6 +447,7 @@ def run_fuzz(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     rewrite_shapes: bool = False,
+    recurrent_shapes: bool = False,
 ) -> FuzzReport:
     """Verify ``num_seeds`` consecutive seeds (or an explicit seed list).
 
@@ -402,7 +462,8 @@ def run_fuzz(
 
     seed_list = (list(seeds) if seeds is not None
                  else list(range(start_seed, start_seed + num_seeds)))
-    units = fuzz_work_units(seed_list, max_ops, strict, rewrite_shapes)
+    units = fuzz_work_units(seed_list, max_ops, strict, rewrite_shapes,
+                            recurrent_shapes)
     stop_when = None
     if stop_on_first:
         stop_when = lambda r: (not r.ok) or bool(r.value["violations"])
@@ -413,5 +474,6 @@ def run_fuzz(
     if stop_on_first and report.violations:
         report.minimized, _ = minimize(report.violations[0].seed, max_ops,
                                        strict=strict,
-                                       rewrite_shapes=rewrite_shapes)
+                                       rewrite_shapes=rewrite_shapes,
+                                       recurrent_shapes=recurrent_shapes)
     return report

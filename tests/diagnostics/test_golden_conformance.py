@@ -23,7 +23,7 @@ from repro.diagnostics import (
 )
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
-PINNED_MODELS = ("tiny_cnn", "scaled_vgg")
+PINNED_MODELS = ("tiny_cnn", "scaled_vgg", "lstm", "densenet")
 
 
 @pytest.mark.conformance

@@ -8,6 +8,7 @@ from repro.core.policy import (
     STRATEGY_GIST,
     STRATEGY_HYBRID,
     STRATEGY_RECOMPUTE,
+    STRATEGY_SHARED_CONCAT,
     STRATEGY_SWAP,
 )
 from repro.graph.schedule import TrainingSchedule
@@ -23,7 +24,8 @@ from repro.memory import (
 from repro.memory.hybrid import SOURCE_COMPATIBLE_CHOICES
 from repro.models import resnet_cifar, scaled_vgg
 
-PURE_STRATEGIES = (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP)
+PURE_STRATEGIES = (STRATEGY_GIST, STRATEGY_RECOMPUTE, STRATEGY_SWAP,
+                   STRATEGY_SHARED_CONCAT)
 
 
 @pytest.fixture(scope="module")

@@ -68,6 +68,26 @@ class TestValidity:
             TrainingSchedule(graph)
 
 
+class TestRecurrentGenre:
+    def test_same_seed_same_graph(self):
+        a = GraphFuzzer(7).graph(recurrent_shapes=True)
+        b = GraphFuzzer(7).graph(recurrent_shapes=True)
+        assert a.summary() == b.summary()
+
+    def test_genre_does_not_perturb_default_stream(self):
+        # Opting into recurrent shapes must not shift the decision
+        # stream of the default genre at the same seed.
+        before = GraphFuzzer(5).graph().summary()
+        GraphFuzzer(5).graph(recurrent_shapes=True)
+        assert GraphFuzzer(5).graph().summary() == before
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_recurrent_graphs_verify_clean(self, seed):
+        graph = GraphFuzzer(seed).graph(recurrent_shapes=True)
+        assert any(n.kind in ("lstm_step", "rnn_step") for n in graph.nodes)
+        assert verify_graph(graph, seed) == []
+
+
 class TestGreedyCounterexample:
     def test_seed_19_greedy_loses_to_first_fit(self):
         graph = GraphFuzzer(COUNTEREXAMPLE_SEED).graph()

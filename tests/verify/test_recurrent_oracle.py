@@ -1,0 +1,115 @@
+"""Fault-injection tests for the recurrent-unroll oracle.
+
+Clean unrolled LSTM/RNN columns must produce zero violations; each
+deliberate corruption — duplicate owner, desynced timestep, rewired
+state edge, mismatched dims, untied runtime parameters — must trip the
+matching check.  Layer attributes are mutated in place and restored, so
+the module-scoped graphs stay pristine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.train.executor import GraphExecutor
+from repro.verify import ORACLE_RECURRENT, check_recurrent_unroll
+
+KWARGS = dict(batch_size=4, num_classes=4, seq_len=4,
+              input_size=5, hidden_size=6)
+
+
+@pytest.fixture(scope="module", params=["lstm", "rnn"])
+def unrolled(request):
+    graph = build_model(request.param, **KWARGS)
+    return graph, GraphExecutor(graph, seed=0), f"{request.param}_step"
+
+
+def violations_of(graph, executor=None):
+    out = check_recurrent_unroll(graph, executor)
+    assert all(v.oracle == ORACLE_RECURRENT for v in out)
+    return [v.detail for v in out]
+
+
+@pytest.fixture()
+def restore():
+    """Collect (obj, attr, value) undo records; replay them after."""
+    undo = []
+
+    def record(obj, attr):
+        undo.append((obj, attr, getattr(obj, attr)))
+        return obj
+
+    yield record
+    for obj, attr, value in reversed(undo):
+        setattr(obj, attr, value)
+
+
+def step_node(graph, kind, t):
+    return next(n for n in graph.nodes
+                if n.kind == kind and n.layer.t == t)
+
+
+class TestCleanColumns:
+    def test_registry_models_are_clean(self, unrolled):
+        graph, executor, _ = unrolled
+        assert check_recurrent_unroll(graph) == []
+        assert check_recurrent_unroll(graph, executor) == []
+
+    def test_graphs_without_steps_short_circuit(self):
+        graph = build_model("tiny_cnn", batch_size=4)
+        assert check_recurrent_unroll(graph) == []
+
+
+class TestFaultInjection:
+    def test_desynced_timestep_detected(self, unrolled, restore):
+        graph, _, kind = unrolled
+        node = restore(step_node(graph, kind, 2).layer, "t")
+        node.t = 3
+        details = violations_of(graph)
+        assert any("duplicate timestep" in d for d in details)
+        assert any("not the same cell's" in d for d in details)
+
+    def test_mismatched_dims_detected(self, unrolled, restore):
+        graph, _, kind = unrolled
+        layer = step_node(graph, kind, 1).layer
+        restore(layer, "hidden_size")
+        layer.hidden_size = KWARGS["hidden_size"] + 1
+        details = violations_of(graph)
+        assert any("disagree with the shared cell" in d for d in details)
+
+    def test_rewired_state_edge_detected(self, unrolled, restore):
+        graph, _, kind = unrolled
+        node = step_node(graph, kind, 3)
+        restore(node, "inputs")
+        # Point t=3's state input at the t=1 step: skips a timestep.
+        node.inputs = [node.inputs[0], step_node(graph, kind, 1).node_id]
+        details = violations_of(graph)
+        assert any("t=2 step" in d for d in details)
+
+    def test_duplicate_owner_detected(self, unrolled, restore):
+        graph, _, kind = unrolled
+        layer = step_node(graph, kind, 2).layer
+        restore(layer, "_owns_params") if hasattr(layer, "_owns_params") \
+            else None
+        # owns_params derives from t on the step layers; force a second
+        # owner by moving a later step to t=0 (also trips uniqueness).
+        restore(layer, "t")
+        layer.t = 0
+        details = violations_of(graph)
+        assert any("parameter owners" in d for d in details)
+
+    def test_untied_parameter_copy_detected(self, unrolled):
+        graph, _, kind = unrolled
+        executor = GraphExecutor(graph, seed=1)
+        nid = step_node(graph, kind, 1).node_id
+        executor.params[nid]["Wx"] = executor.params[nid]["Wx"].copy()
+        details = violations_of(graph, executor)
+        assert any("untied" in d for d in details)
+
+    def test_missing_parameter_detected(self, unrolled):
+        graph, _, kind = unrolled
+        executor = GraphExecutor(graph, seed=2)
+        nid = step_node(graph, kind, 2).node_id
+        executor.params[nid]["Wq"] = executor.params[nid].pop("Wx")
+        details = violations_of(graph, executor)
+        assert any("untied" in d for d in details)

@@ -1,0 +1,116 @@
+"""Fault-injection tests for the shared-concat structural oracle.
+
+A clean planner output must produce zero violations; each deliberately
+corrupted decision or liveness field must trip exactly the matching
+check.  Corruptions use ``dataclasses.replace`` on decisions (the plan's
+decision dict is mutated and restored around each test) or direct edits
+to deep-copied tensors, so the module-scoped plan stays pristine.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.core.policy import HybridPolicy, STRATEGY_SHARED_CONCAT
+from repro.memory.hybrid import CHOICE_SHARED_CONCAT, build_hybrid_plan
+from repro.models import build_model
+from repro.verify import ORACLE_SHARED_CONCAT, check_shared_concat
+
+
+@pytest.fixture(scope="module")
+def plan():
+    built = build_hybrid_plan(
+        build_model("densenet", batch_size=4, num_classes=4, image_size=8,
+                    init_channels=4, growth=4, blocks=2, block_layers=3),
+        HybridPolicy(strategy=STRATEGY_SHARED_CONCAT),
+    )
+    assert any(d.choice == CHOICE_SHARED_CONCAT
+               for d in built.decisions.values())
+    return built
+
+
+@pytest.fixture()
+def decision(plan):
+    nid = next(n for n, d in plan.decisions.items()
+               if d.choice == CHOICE_SHARED_CONCAT)
+    return nid, plan.decisions[nid]
+
+
+def violations_of(plan):
+    out = check_shared_concat(plan)
+    assert all(v.oracle == ORACLE_SHARED_CONCAT for v in out)
+    return [v.detail for v in out]
+
+
+@pytest.fixture()
+def corrupted(plan):
+    """Apply a decision-table corruption, restore afterwards."""
+    saved = dict(plan.decisions)
+
+    def apply(nid, replacement=None):
+        if replacement is None:
+            del plan.decisions[nid]
+        else:
+            plan.decisions[nid] = replacement
+        return violations_of(plan)
+
+    yield apply
+    plan.decisions.clear()
+    plan.decisions.update(saved)
+
+
+class TestCleanPlan:
+    def test_planner_output_is_clean(self, plan):
+        assert check_shared_concat(plan) == []
+
+    def test_hybrid_strategy_output_is_clean(self, plan):
+        hybrid = build_hybrid_plan(plan.graph)
+        assert check_shared_concat(hybrid) == []
+
+
+class TestFaultInjection:
+    def test_truncated_chain_detected(self, corrupted, decision):
+        nid, d = decision
+        details = corrupted(nid, dataclasses.replace(d, chain=d.chain[:-1]))
+        assert any("does not run from the member" in x for x in details)
+
+    def test_empty_chain_detected(self, corrupted, decision):
+        nid, d = decision
+        details = corrupted(nid, dataclasses.replace(d, chain=()))
+        assert any("does not run from the member" in x for x in details)
+
+    def test_non_concat_chain_node_detected(self, corrupted, decision, plan):
+        nid, d = decision
+        # Reroute the chain through the graph input: not a concat at all.
+        bad_chain = (d.chain[0], plan.graph.input_id)
+        details = corrupted(nid, dataclasses.replace(
+            d, chain=bad_chain, source_id=plan.graph.input_id))
+        assert any("not a concat" in x for x in details)
+
+    def test_terminal_with_own_decision_detected(self, corrupted, decision):
+        nid, d = decision
+        rogue = dataclasses.replace(
+            d, node_id=d.source_id, node_name="terminal", choice="swap",
+            source_id=None, chain=(),
+        )
+        details = corrupted(d.source_id, rogue)
+        assert any("carries a swap decision" in x for x in details)
+
+    def test_alias_label_drift_detected(self, plan, decision):
+        nid, d = decision
+        bad = copy.deepcopy(plan)
+        for t in bad.plan.tensors:
+            if t.node_id == nid and t.spec.name.endswith(".out"):
+                t.alias_group = "concat:wrong"
+        details = violations_of(bad)
+        assert any("alias label" in x for x in details)
+
+    def test_terminal_early_death_detected(self, plan, decision):
+        nid, d = decision
+        bad = copy.deepcopy(plan)
+        for t in bad.plan.tensors:
+            if t.node_id == d.source_id and t.spec.name.endswith(".out"):
+                t.death = t.birth
+        details = violations_of(bad)
+        assert any("dies at" in x for x in details)
